@@ -1,0 +1,124 @@
+// E13 (extension) — the repeated-benchmark protocol: metric point
+// estimates with bootstrap confidence intervals over repeated independent
+// workloads, pairwise significance between tools, and a weight-sensitivity
+// check of the E7 scenario recommendation.
+#include <fstream>
+#include <iostream>
+
+#include "mcda/sensitivity.h"
+#include "report/export.h"
+#include "report/table.h"
+#include "study_common.h"
+#include "vdsim/suite.h"
+
+int main() {
+  using namespace vdbench;
+
+  vdsim::SuiteConfig cfg;
+  cfg.workload.num_services = 80;
+  cfg.workload.prevalence = 0.12;
+  cfg.runs = 25;
+  cfg.costs = vdsim::CostModel{10.0, 1.0};
+
+  const std::vector<core::MetricId> metrics = {
+      core::MetricId::kRecall, core::MetricId::kPrecision,
+      core::MetricId::kFMeasure, core::MetricId::kMcc,
+      core::MetricId::kNormalizedExpectedCost};
+
+  std::cout << "E13a (extension): repeated-benchmark protocol — " << cfg.runs
+            << " independent workloads, " << cfg.workload.num_services
+            << " services each\n\n";
+
+  stats::Rng rng(bench::kStudySeed + 13);
+  const vdsim::SuiteResult suite =
+      run_suite(vdsim::builtin_tools(), metrics, cfg, rng);
+
+  report::Table estimates({"tool", "metric", "mean", "95% CI", "CI width",
+                           "undef runs"});
+  for (const vdsim::ToolEstimates& tool : suite.tools) {
+    for (const vdsim::MetricEstimate& est : tool.metrics) {
+      estimates.add_row(
+          {tool.tool_name, std::string(core::metric_info(est.metric).key),
+           report::format_value(est.ci.estimate),
+           "[" + report::format_value(est.ci.lower) + ", " +
+               report::format_value(est.ci.upper) + "]",
+           report::format_value(est.ci.width()),
+           std::to_string(est.undefined_runs)});
+    }
+  }
+  estimates.print(std::cout);
+
+  std::cout << "\npairwise comparisons on MCC (Welch two-sided):\n";
+  report::Table pairs({"pair", "mean A", "mean B", "p-value",
+                       "P(A beats B)", "verdict"});
+  for (const vdsim::PairwiseComparison& cmp : suite.comparisons) {
+    if (cmp.metric != core::MetricId::kMcc) continue;
+    pairs.add_row({cmp.tool_a + " vs " + cmp.tool_b,
+                   report::format_value(cmp.mean_a),
+                   report::format_value(cmp.mean_b),
+                   report::format_value(cmp.welch.p_value, 4),
+                   report::format_value(cmp.probability_superiority),
+                   cmp.significant() ? "significant" : "not resolvable"});
+  }
+  pairs.print(std::cout);
+
+  // Machine-readable artifact for archival/diffing.
+  if (std::ofstream json_out("e13_suite.json"); json_out) {
+    json_out << report::suite_to_json(suite) << "\n";
+    std::cout << "\nwrote machine-readable campaign results to "
+                 "e13_suite.json\n";
+  }
+
+  // E13b: weight-sensitivity of the s1 recommendation.
+  std::cout << "\nE13b (extension): weight sensitivity of the s1_critical "
+               "metric recommendation\n\n";
+  const auto assessments = bench::run_stage1();
+  const core::Scenario& scenario = core::builtin_scenario("s1_critical");
+  const auto effectiveness = bench::run_stage2(scenario);
+
+  // Alternatives x criteria scores (same construction as the validator).
+  std::vector<core::MetricId> alt_ids;
+  std::vector<std::vector<double>> rows;
+  for (const core::EffectivenessResult& eff : effectiveness) {
+    if (core::metric_info(eff.metric).direction == core::Direction::kNone)
+      continue;
+    const auto it = std::find_if(
+        assessments.begin(), assessments.end(),
+        [&](const core::MetricAssessment& a) { return a.metric == eff.metric; });
+    std::vector<double> row(it->scores.begin(), it->scores.end());
+    row.push_back(eff.ranking_fidelity);
+    alt_ids.push_back(eff.metric);
+    rows.push_back(std::move(row));
+  }
+  stats::Matrix scores(rows.size(), core::kPropertyCount + 1, 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (std::size_t c = 0; c <= core::kPropertyCount; ++c)
+      scores(r, c) = rows[r][c];
+  std::vector<double> weights(scenario.property_weights.begin(),
+                              scenario.property_weights.end());
+  for (double& w : weights) w = std::max(w, 0.01);
+  weights.push_back(0.8);  // scenario-fit criterion
+
+  stats::Rng srng(bench::kStudySeed + 14);
+  const mcda::SensitivityResult sens =
+      mcda::weight_sensitivity(scores, weights, 0.35, 2000, srng);
+  std::cout << "baseline winner stability under 35% lognormal weight "
+               "perturbation (2000 trials): "
+            << report::format_percent(sens.top_choice_stability)
+            << "; mean Kendall distance to baseline ranking: "
+            << report::format_value(sens.mean_kendall_distance) << "\n";
+  report::Table wins({"metric", "win share"});
+  for (std::size_t a = 0; a < alt_ids.size(); ++a) {
+    if (sens.win_share[a] < 0.005) continue;
+    wins.add_row({std::string(core::metric_info(alt_ids[a]).key),
+                  report::format_percent(sens.win_share[a])});
+  }
+  wins.print(std::cout);
+
+  std::cout << "\nShape check: tools separated by a real quality gap are "
+               "significant at 25 runs while near-ties are not; the "
+               "scenario recommendation survives large weight "
+               "perturbations (win share concentrated on the top metric "
+               "family).\n";
+  return 0;
+}

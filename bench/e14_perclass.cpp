@@ -1,0 +1,76 @@
+// E14 (extension) — per-class capability analysis across corpus
+// archetypes: the built-in tools' per-CWE-class recall on each workload
+// preset, their macro class recall and their weakest class. Shows why a
+// single aggregate number hides the capability structure that actually
+// decides which tool fits a codebase.
+#include <iostream>
+
+#include "report/table.h"
+#include "study_common.h"
+#include "vdsim/presets.h"
+#include "vdsim/runner.h"
+
+int main() {
+  using namespace vdbench;
+
+  std::cout << "E14 (extension): per-class tool capability across corpus "
+               "archetypes\n\n";
+
+  // Summary over all presets: macro class recall + weakest class.
+  report::Table summary({"preset", "tool", "recall", "macro class recall",
+                         "weakest class"});
+  for (const vdsim::WorkloadPreset preset : vdsim::all_workload_presets()) {
+    const vdsim::WorkloadSpec spec = vdsim::preset_spec(preset, 200);
+    stats::Rng wrng = stats::Rng(bench::kStudySeed + 14)
+                          .split(static_cast<std::uint64_t>(preset));
+    const vdsim::Workload workload = generate_workload(spec, wrng);
+    stats::Rng rng = wrng.split(1);
+    const auto results = run_benchmarks(vdsim::builtin_tools(), workload,
+                                        vdsim::CostModel{}, rng);
+    for (const vdsim::BenchmarkResult& r : results) {
+      summary.add_row(
+          {std::string(vdsim::preset_key(preset)), r.tool_name,
+           report::format_value(r.metric(core::MetricId::kRecall)),
+           report::format_value(r.macro_class_recall()),
+           workload.total_vulns() == 0
+               ? "-"
+               : std::string(vdsim::vuln_class_name(r.weakest_class()))});
+    }
+  }
+  summary.print(std::cout);
+
+  // Detailed per-class recall on the two most contrasting presets.
+  for (const vdsim::WorkloadPreset preset :
+       {vdsim::WorkloadPreset::kWebServices,
+        vdsim::WorkloadPreset::kLegacyMonolith}) {
+    const vdsim::WorkloadSpec spec = vdsim::preset_spec(preset, 300);
+    stats::Rng wrng = stats::Rng(bench::kStudySeed + 15)
+                          .split(static_cast<std::uint64_t>(preset));
+    const vdsim::Workload workload = generate_workload(spec, wrng);
+    stats::Rng rng = wrng.split(1);
+    const auto results = run_benchmarks(vdsim::builtin_tools(), workload,
+                                        vdsim::CostModel{}, rng);
+    std::cout << "\nper-class recall — " << vdsim::preset_key(preset) << " ("
+              << vdsim::preset_description(preset) << "; "
+              << workload.total_vulns() << " seeded vulnerabilities)\n";
+    std::vector<std::string> headers = {"tool"};
+    for (const vdsim::VulnClass c : vdsim::all_vuln_classes())
+      headers.push_back(std::string(vdsim::vuln_class_cwe(c)));
+    report::Table table(std::move(headers));
+    for (const vdsim::BenchmarkResult& r : results) {
+      std::vector<std::string> row = {r.tool_name};
+      for (const vdsim::VulnClass c : vdsim::all_vuln_classes())
+        row.push_back(report::format_value(
+            r.by_class[vdsim::vuln_class_index(c)].recall(), 2));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nShape check: penetration testers lead on CWE-89/79 "
+               "(injection) and collapse on CWE-120/416 (memory); fuzzers "
+               "invert that; the pen-tester's overall recall roughly halves "
+               "from web_services to legacy_monolith while the fuzzer's "
+               "rises — the workload archetype is part of the scenario.\n";
+  return 0;
+}

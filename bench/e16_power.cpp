@@ -1,0 +1,100 @@
+// E16 (extension) — protocol power analysis: how many repeated runs does a
+// benchmark need before (a) the confidence interval of the primary metric
+// is tight enough to matter and (b) a given true quality gap becomes
+// statistically resolvable? The curve tells a benchmark designer where
+// extra runs stop paying.
+#include <iostream>
+
+#include "report/chart.h"
+#include "report/table.h"
+#include "study_common.h"
+#include "vdsim/suite.h"
+
+namespace {
+
+using namespace vdbench;
+
+// Fraction of campaigns (over repetitions) where the pair comes out
+// significant at alpha = 0.05 on MCC, plus the mean CI width.
+struct PowerPoint {
+  double power = 0.0;
+  double mean_ci_width = 0.0;
+};
+
+PowerPoint measure_power(double quality_gap, std::size_t runs,
+                         std::size_t campaigns) {
+  const std::vector<vdsim::ToolProfile> tools = {
+      vdsim::make_archetype_profile(vdsim::ToolArchetype::kStaticAnalyzer,
+                                    0.60 + quality_gap, "better"),
+      vdsim::make_archetype_profile(vdsim::ToolArchetype::kStaticAnalyzer,
+                                    0.60, "worse")};
+  vdsim::SuiteConfig cfg;
+  cfg.workload.num_services = 40;
+  cfg.workload.prevalence = 0.12;
+  cfg.runs = runs;
+  cfg.bootstrap_replicates = 200;
+  PowerPoint out;
+  for (std::size_t c = 0; c < campaigns; ++c) {
+    stats::Rng rng = stats::Rng(bench::kStudySeed + 16)
+                         .split(static_cast<std::uint64_t>(quality_gap * 1e4))
+                         .split(runs)
+                         .split(c);
+    const vdsim::SuiteResult suite =
+        run_suite(tools, {core::MetricId::kMcc}, cfg, rng);
+    if (!suite.comparisons.empty() && suite.comparisons.front().significant())
+      out.power += 1.0;
+    out.mean_ci_width +=
+        suite.tools.front().metric(core::MetricId::kMcc).ci.width();
+  }
+  out.power /= static_cast<double>(campaigns);
+  out.mean_ci_width /= static_cast<double>(campaigns);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kCampaigns = 25;
+  const std::vector<std::size_t> run_counts = {3, 5, 8, 12, 20, 32};
+  const std::vector<double> gaps = {0.02, 0.05, 0.10};
+
+  std::cout << "E16 (extension): benchmark protocol power analysis\n"
+            << "(static-analyzer pair, MCC, 40-service workloads, "
+            << kCampaigns << " campaigns per point)\n\n";
+
+  report::Table table({"runs", "CI width", "power gap=0.02", "power gap=0.05",
+                       "power gap=0.10"});
+  report::LineChart chart("E16 figure: P(significant) vs runs", "runs",
+                          "power at alpha=0.05");
+  chart.set_y_range(0.0, 1.0);
+  std::vector<report::Series> series(gaps.size());
+  for (std::size_t g = 0; g < gaps.size(); ++g)
+    series[g].name = "gap=" + report::format_value(gaps[g], 2);
+
+  for (const std::size_t runs : run_counts) {
+    std::vector<std::string> powers;
+    double ci_width = 0.0;
+    for (std::size_t g = 0; g < gaps.size(); ++g) {
+      const PowerPoint p = measure_power(gaps[g], runs, kCampaigns);
+      if (g == 0) ci_width = p.mean_ci_width;
+      series[g].x.push_back(static_cast<double>(runs));
+      series[g].y.push_back(p.power);
+      powers.push_back(report::format_percent(p.power, 0));
+    }
+    std::vector<std::string> row = {std::to_string(runs),
+                                    report::format_value(ci_width)};
+    row.insert(row.end(), powers.begin(), powers.end());
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  for (auto& s : series) chart.add_series(std::move(s));
+  chart.print(std::cout);
+
+  std::cout << "\nShape check: power rises with both runs and the true "
+               "gap; a 0.10 quality gap is reliably resolvable with a "
+               "handful of runs while a 0.02 gap stays underpowered even "
+               "at 32 runs — benchmark reports should state their "
+               "protocol's resolving power.\n";
+  return 0;
+}

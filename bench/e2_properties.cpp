@@ -1,0 +1,49 @@
+// E2 — the metric-properties assessment matrix: every catalogue metric
+// scored against the characteristics of a good vulnerability-detection
+// metric (stage 1 of the study). Scores in [0,1]; higher is better.
+#include <iostream>
+
+#include "report/table.h"
+#include "study_common.h"
+
+int main() {
+  using namespace vdbench;
+
+  std::cout << "E2: empirical assessment of metric properties\n"
+            << "(trials=" << bench::full_assessment_config().trials
+            << ", benchmark size="
+            << bench::full_assessment_config().benchmark_items
+            << " sites, base prevalence="
+            << bench::full_assessment_config().base_prevalence << ")\n\n";
+
+  const std::vector<core::MetricAssessment> assessments =
+      bench::run_stage1();
+
+  std::vector<std::string> headers = {"metric"};
+  for (const core::Property p : core::all_properties())
+    headers.push_back(std::string(core::property_name(p)));
+  headers.push_back("mean");
+  report::Table table(std::move(headers));
+
+  for (const core::MetricAssessment& a : assessments) {
+    std::vector<std::string> row = {
+        std::string(core::metric_info(a.metric).key)};
+    double sum = 0.0;
+    for (const double s : a.scores) {
+      row.push_back(report::format_value(s, 2));
+      sum += s;
+    }
+    row.push_back(report::format_value(
+        sum / static_cast<double>(core::kPropertyCount), 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: 'prevalence robustness' separates the metrics "
+               "whose values transfer across workloads (recall, "
+               "informedness, balanced accuracy) from those that do not "
+               "(precision, accuracy, MCC, kappa); 'definedness' penalises "
+               "ratio metrics that blow up on small or degenerate "
+               "benchmarks (likelihood ratios, DOR).\n";
+  return 0;
+}

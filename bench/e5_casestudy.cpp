@@ -1,0 +1,88 @@
+// E5 — case-study table: the six built-in simulated tools benchmarked on a
+// web-service corpus; full confusion counts, all headline metrics, and the
+// rank each metric assigns — showing rank disagreements concretely.
+#include <iostream>
+
+#include "report/table.h"
+#include "study_common.h"
+#include "vdsim/campaign.h"
+
+int main() {
+  using namespace vdbench;
+
+  vdsim::WorkloadSpec spec;
+  spec.num_services = 400;
+  spec.prevalence = 0.12;
+  stats::Rng wrng(bench::kStudySeed);
+  const vdsim::Workload workload = generate_workload(spec, wrng);
+
+  std::cout << "E5: case study — " << vdsim::builtin_tools().size()
+            << " simulated tools on a web-service corpus\n"
+            << "(" << workload.services().size() << " services, "
+            << workload.total_sites() << " candidate sites, "
+            << workload.total_vulns() << " seeded vulnerabilities, "
+            << report::format_value(workload.total_kloc(), 0)
+            << " kLoC; cost model FN:FP = 10:1)\n\n";
+
+  stats::Rng rng(bench::kStudySeed + 1);
+  const auto results = run_benchmarks(vdsim::builtin_tools(), workload,
+                                      vdsim::CostModel{10.0, 1.0}, rng);
+
+  report::Table confusion({"tool", "TP", "FP", "FN", "TN", "dup", "time(s)"});
+  for (const vdsim::BenchmarkResult& r : results) {
+    confusion.add_row({r.tool_name, std::to_string(r.context.cm.tp),
+                       std::to_string(r.context.cm.fp),
+                       std::to_string(r.context.cm.fn),
+                       std::to_string(r.context.cm.tn),
+                       std::to_string(r.duplicate_findings),
+                       report::format_value(r.context.analysis_seconds, 0)});
+  }
+  confusion.print(std::cout);
+  std::cout << "\n";
+
+  const std::vector<core::MetricId> shown = {
+      core::MetricId::kRecall,  core::MetricId::kPrecision,
+      core::MetricId::kFMeasure, core::MetricId::kMcc,
+      core::MetricId::kInformedness, core::MetricId::kAuc,
+      core::MetricId::kNormalizedExpectedCost,
+      core::MetricId::kAnalysisThroughput};
+  std::vector<std::string> headers = {"tool"};
+  for (const core::MetricId id : shown)
+    headers.push_back(std::string(core::metric_info(id).key));
+  report::Table values(std::move(headers));
+  for (const vdsim::BenchmarkResult& r : results) {
+    std::vector<std::string> row = {r.tool_name};
+    for (const core::MetricId id : shown)
+      row.push_back(report::format_value(r.metric(id)));
+    values.add_row(std::move(row));
+  }
+  values.print(std::cout);
+  std::cout << "\n";
+
+  // Rank table: position of each tool under each metric.
+  std::vector<std::string> rank_headers = {"tool"};
+  for (const core::MetricId id : shown)
+    rank_headers.push_back("rank:" + std::string(core::metric_info(id).key));
+  report::Table ranks(std::move(rank_headers));
+  std::vector<std::vector<std::size_t>> positions(shown.size(),
+                                                  std::vector<std::size_t>(
+                                                      results.size()));
+  for (std::size_t m = 0; m < shown.size(); ++m) {
+    const auto order = vdsim::rank_tools_by_metric(results, shown[m]);
+    for (std::size_t pos = 0; pos < order.size(); ++pos)
+      positions[m][order[pos]] = pos + 1;
+  }
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    std::vector<std::string> row = {results[t].tool_name};
+    for (std::size_t m = 0; m < shown.size(); ++m)
+      row.push_back(std::to_string(positions[m][t]));
+    ranks.add_row(std::move(row));
+  }
+  ranks.print(std::cout);
+
+  std::cout << "\nShape check: no single tool is ranked first by every "
+               "metric; recall favours the noisy high-coverage analyzer, "
+               "precision the conservative fuzzer, and the cost metric's "
+               "winner depends on the 10:1 cost model.\n";
+  return 0;
+}

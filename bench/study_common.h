@@ -1,0 +1,51 @@
+// Shared full-size study configuration for the experiment binaries.
+//
+// Every bench binary regenerates one table/figure of the reconstructed
+// DSN'15 evaluation (see DESIGN.md and EXPERIMENTS.md). The trial counts
+// here are the "full-size" ones; the unit tests use reduced copies.
+#pragma once
+
+#include <vector>
+
+#include "core/properties.h"
+#include "core/scenario.h"
+#include "core/selection.h"
+
+namespace vdbench::bench {
+
+/// Seed shared by all experiment binaries so printed artifacts are
+/// reproducible run-to-run.
+inline constexpr std::uint64_t kStudySeed = 20150622;  // DSN'15 first day
+
+/// Full-size stage-1 configuration.
+inline core::AssessmentConfig full_assessment_config() {
+  core::AssessmentConfig cfg;
+  cfg.trials = 400;
+  cfg.benchmark_items = 500;
+  cfg.asymptotic_items = 1'000'000;
+  return cfg;
+}
+
+/// Full-size stage-2 configuration.
+inline core::ScenarioAnalyzer::Config full_analyzer_config() {
+  core::ScenarioAnalyzer::Config cfg;
+  cfg.pair_trials = 2000;
+  return cfg;
+}
+
+/// Run stage 1 for the whole catalogue.
+inline std::vector<core::MetricAssessment> run_stage1() {
+  stats::Rng rng(kStudySeed);
+  return core::PropertyAssessor(full_assessment_config()).assess_all(rng);
+}
+
+/// Run stage 2 for one scenario over all ranking metrics.
+inline std::vector<core::EffectivenessResult> run_stage2(
+    const core::Scenario& scenario) {
+  stats::Rng rng = stats::Rng(kStudySeed).split(
+      std::hash<std::string>{}(scenario.key));
+  return core::ScenarioAnalyzer(full_analyzer_config())
+      .analyze(scenario, core::ranking_metrics(), rng);
+}
+
+}  // namespace vdbench::bench

@@ -1,0 +1,88 @@
+// Blind-spot analysis: find what a tool misses per vulnerability class and
+// whether pairing it with a complementary tool actually helps — including
+// the case where it can't, because the hard instances are invisible to
+// every tool (shared-difficulty effect).
+//
+//   $ ./blind_spot_analysis [preset] [gamma]
+//       preset: web_services | legacy_monolith | microservices |
+//               embedded_firmware | hardened_product  (default web_services)
+//       gamma:  shared-difficulty strength, default 0
+#include <cstdlib>
+#include <iostream>
+
+#include "report/table.h"
+#include "vdsim/combine.h"
+#include "vdsim/presets.h"
+
+int main(int argc, char** argv) {
+  using namespace vdbench;
+
+  const std::string preset_name = argc > 1 ? argv[1] : "web_services";
+  const double gamma = argc > 2 ? std::strtod(argv[2], nullptr) : 0.0;
+
+  vdsim::WorkloadSpec spec;
+  try {
+    spec = vdsim::preset_spec(vdsim::preset_from_key(preset_name), 250);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  spec.difficulty_gamma = gamma;
+  if (gamma > 0.0) spec.difficulty_shape = vdsim::DifficultyShape::kBimodal;
+
+  stats::Rng wrng(77);
+  const vdsim::Workload workload = generate_workload(spec, wrng);
+  std::cout << "Corpus: " << preset_name << " — "
+            << vdsim::preset_description(vdsim::preset_from_key(preset_name))
+            << "\n"
+            << workload.total_vulns() << " seeded vulnerabilities, shared "
+            << "difficulty gamma = " << gamma << "\n\n";
+
+  // Step 1: each tool's per-class recall and weakest class.
+  stats::Rng rng(78);
+  const auto results = run_benchmarks(vdsim::builtin_tools(), workload,
+                                      vdsim::CostModel{}, rng);
+  report::Table blind({"tool", "overall recall", "macro class recall",
+                       "weakest class", "weakest-class recall"});
+  for (const vdsim::BenchmarkResult& r : results) {
+    const vdsim::VulnClass weakest = r.weakest_class();
+    blind.add_row(
+        {r.tool_name, report::format_value(r.context.cm.tpr()),
+         report::format_value(r.macro_class_recall()),
+         std::string(vdsim::vuln_class_name(weakest)),
+         report::format_value(
+             r.by_class[vdsim::vuln_class_index(weakest)].recall())});
+  }
+  blind.print(std::cout);
+
+  // Step 2: can the best tool's blind spot be patched by a partner?
+  const auto tools = vdsim::builtin_tools();
+  std::size_t best = 0;
+  for (std::size_t t = 1; t < results.size(); ++t)
+    if (results[t].context.cm.tpr() > results[best].context.cm.tpr())
+      best = t;
+  std::cout << "\nPairing " << tools[best].name
+            << " (best overall recall) with each partner:\n";
+  report::Table combos({"partner", "union recall", "marginal gain",
+                        "independence prediction", "correlation deficit"});
+  for (std::size_t t = 0; t < tools.size(); ++t) {
+    if (t == best) continue;
+    stats::Rng pair_rng = stats::Rng(79).split(t);
+    const vdsim::Complementarity c = analyze_complementarity(
+        tools[best], tools[t], workload, vdsim::CostModel{}, pair_rng);
+    combos.add_row({tools[t].name, report::format_value(c.union_recall),
+                    report::format_value(c.marginal_gain()),
+                    report::format_value(c.independent_prediction),
+                    report::format_value(c.correlation_deficit())});
+  }
+  combos.print(std::cout);
+  if (gamma > 0.0)
+    std::cout << "\nNote the correlation deficit: with shared difficulty "
+                 "the combination delivers less than the independence "
+                 "math promises — rerun with gamma 0 to compare.\n";
+  else
+    std::cout << "\nTip: rerun with a positive gamma (e.g. "
+              << "./blind_spot_analysis " << preset_name
+              << " 2) to see correlated misses cap the combination gain.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Metric audit: empirically assess one metric (default: accuracy) against
+// the characteristics of a good vulnerability-detection metric and compare
+// it with two robust references (MCC and informedness).
+//
+//   $ ./metric_audit [metric-key]     e.g.  ./metric_audit f1
+#include <iostream>
+
+#include "core/properties.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace vdbench;
+
+  const std::string key = argc > 1 ? argv[1] : "accuracy";
+  const auto target = core::metric_from_key(key);
+  if (!target) {
+    std::cerr << "unknown metric key '" << key << "'. Known keys:";
+    for (const core::MetricId id : core::all_metrics())
+      std::cerr << " " << core::metric_info(id).key;
+    std::cerr << "\n";
+    return 1;
+  }
+
+  const std::vector<core::MetricId> audited = {
+      *target, core::MetricId::kMcc, core::MetricId::kInformedness};
+
+  core::AssessmentConfig cfg;
+  cfg.trials = 200;
+  cfg.asymptotic_items = 500'000;
+  const core::PropertyAssessor assessor(cfg);
+
+  std::vector<core::MetricAssessment> assessments;
+  for (const core::MetricId id : audited) {
+    stats::Rng rng(static_cast<std::uint64_t>(id) + 11);
+    assessments.push_back(assessor.assess(id, rng));
+  }
+
+  std::vector<std::string> headers = {"property"};
+  for (const core::MetricId id : audited)
+    headers.push_back(std::string(core::metric_info(id).key));
+  headers.push_back("what it measures");
+  report::Table table(std::move(headers));
+  for (const core::Property p : core::all_properties()) {
+    std::vector<std::string> row = {std::string(core::property_name(p))};
+    for (const core::MetricAssessment& a : assessments)
+      row.push_back(report::format_value(a.score(p), 2));
+    row.push_back(std::string(core::property_description(p)));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  const core::MetricInfo& info = core::metric_info(*target);
+  std::cout << "\nAudited metric: " << info.name << "  (" << info.formula
+            << ")\n"
+            << "family: " << core::category_name(info.category)
+            << ", better: " << core::direction_name(info.direction)
+            << ", needs TN frame: " << (info.needs_tn ? "yes" : "no")
+            << ", prevalence-invariant: "
+            << (info.prevalence_invariant ? "yes" : "no") << "\n";
+  if (!info.prevalence_invariant)
+    std::cout << "warning: values of this metric are NOT comparable across "
+                 "workloads with different prevalence.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Multi-workload aggregation of benchmark results.
+//
+// A benchmark campaign evaluates a tool over many workloads (services,
+// projects, releases). There are two standard ways to report one number:
+//   - micro average: pool the confusion matrices, then compute the metric
+//     (large workloads dominate);
+//   - macro average: compute the metric per workload, then average
+//     (every workload counts equally, undefined values must be handled).
+// They can disagree — even on which of two tools is better — so the choice
+// is itself part of metric selection. This module implements both plus the
+// diagnostics the experiments use to exhibit the disagreement.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace vdbench::core {
+
+/// How macro averaging treats workloads where the metric is undefined.
+enum class UndefinedPolicy {
+  kSkip,        ///< average over defined workloads only
+  kPropagate,   ///< any undefined workload makes the aggregate NaN
+};
+
+/// Pool contexts element-wise: confusion counts, time and kLoC add up;
+/// costs must agree across contexts (throws otherwise); pooled AUC is the
+/// TP-weighted mean of the defined per-context AUCs (NaN when none).
+/// Throws on empty input.
+[[nodiscard]] EvalContext pool_contexts(std::span<const EvalContext> contexts);
+
+/// Micro average: metric on the pooled context.
+[[nodiscard]] double micro_average(MetricId id,
+                                   std::span<const EvalContext> contexts);
+
+/// Macro average: mean of per-context metric values under the policy.
+/// Returns NaN when no context yields a defined value (kSkip) or when any
+/// is undefined (kPropagate).
+[[nodiscard]] double macro_average(
+    MetricId id, std::span<const EvalContext> contexts,
+    UndefinedPolicy policy = UndefinedPolicy::kSkip);
+
+/// Both aggregates side by side, plus dispersion of the per-workload
+/// values — the per-metric row of the aggregation experiment.
+struct AggregateComparison {
+  MetricId metric{};
+  double micro = 0.0;
+  double macro = 0.0;
+  double per_workload_stddev = 0.0;  ///< 0 when fewer than 2 defined values
+  std::size_t undefined_workloads = 0;
+  std::size_t workloads = 0;
+};
+
+/// Compare micro vs macro for one metric over a set of workload contexts.
+[[nodiscard]] AggregateComparison compare_aggregates(
+    MetricId id, std::span<const EvalContext> contexts);
+
+}  // namespace vdbench::core

@@ -1,0 +1,93 @@
+// Confusion-matrix algebra for vulnerability detection benchmarking.
+//
+// A benchmark run of a detection tool over a workload with known ground
+// truth yields four counts. In the vulnerability-detection domain the
+// negative frame (TN) is not naturally defined — code that is "not
+// vulnerable" is not an enumerable set — so vdbench makes the frame
+// explicit: negatives are the *candidate analysis sites* that carry no
+// vulnerability (see vdsim::Workload). Metrics that require TN advertise
+// that requirement in their catalogue entry; one of the DSN'15 paper's
+// observations is precisely that such metrics are fragile in this domain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vdbench::core {
+
+/// The four outcome counts of a binary detection benchmark.
+struct ConfusionMatrix {
+  std::uint64_t tp = 0;  ///< vulnerabilities correctly reported
+  std::uint64_t fp = 0;  ///< reports that match no real vulnerability
+  std::uint64_t tn = 0;  ///< clean candidate sites with no report
+  std::uint64_t fn = 0;  ///< vulnerabilities the tool missed
+
+  /// All analysed items.
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return tp + fp + tn + fn;
+  }
+  /// Real vulnerabilities in the workload (TP + FN).
+  [[nodiscard]] std::uint64_t actual_positives() const noexcept {
+    return tp + fn;
+  }
+  /// Clean candidate sites (FP + TN).
+  [[nodiscard]] std::uint64_t actual_negatives() const noexcept {
+    return fp + tn;
+  }
+  /// Everything the tool reported (TP + FP).
+  [[nodiscard]] std::uint64_t predicted_positives() const noexcept {
+    return tp + fp;
+  }
+  /// Everything the tool stayed silent on (TN + FN).
+  [[nodiscard]] std::uint64_t predicted_negatives() const noexcept {
+    return tn + fn;
+  }
+
+  // -- Basic rates. Degenerate denominators yield NaN ("undefined"); the
+  //    metric layer and the experiments treat NaN explicitly.
+
+  /// True-positive rate (recall / sensitivity): TP / (TP + FN).
+  [[nodiscard]] double tpr() const noexcept;
+  /// False-negative rate: FN / (TP + FN).
+  [[nodiscard]] double fnr() const noexcept;
+  /// True-negative rate (specificity): TN / (TN + FP).
+  [[nodiscard]] double tnr() const noexcept;
+  /// False-positive rate (fallout): FP / (TN + FP).
+  [[nodiscard]] double fpr() const noexcept;
+  /// Positive predictive value (precision): TP / (TP + FP).
+  [[nodiscard]] double ppv() const noexcept;
+  /// Negative predictive value: TN / (TN + FN).
+  [[nodiscard]] double npv() const noexcept;
+  /// False discovery rate: FP / (TP + FP).
+  [[nodiscard]] double fdr() const noexcept;
+  /// False omission rate: FN / (TN + FN).
+  [[nodiscard]] double fomr() const noexcept;
+  /// Fraction of items that are real vulnerabilities: (TP+FN) / total.
+  [[nodiscard]] double prevalence() const noexcept;
+
+  /// Element-wise sum (e.g. pooling per-service matrices).
+  ConfusionMatrix& operator+=(const ConfusionMatrix& other) noexcept;
+  friend ConfusionMatrix operator+(ConfusionMatrix a,
+                                   const ConfusionMatrix& b) noexcept {
+    a += b;
+    return a;
+  }
+  friend bool operator==(const ConfusionMatrix&,
+                         const ConfusionMatrix&) = default;
+
+  /// Human-readable "TP=.. FP=.. TN=.. FN=..".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// True if a rate/metric value is defined (finite, not NaN).
+[[nodiscard]] bool is_defined(double value) noexcept;
+
+/// Expected (large-sample) confusion matrix of a detector with the given
+/// sensitivity and fallout on a workload of `total` items at `prevalence`,
+/// using rounding-to-nearest on each cell. Useful for asymptotic analyses
+/// (prevalence sweeps, monotonicity checks) where sampling noise is
+/// unwanted. Throws std::invalid_argument for out-of-range parameters.
+ConfusionMatrix expected_confusion(double sensitivity, double fallout,
+                                   double prevalence, std::uint64_t total);
+
+}  // namespace vdbench::core

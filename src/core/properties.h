@@ -1,0 +1,120 @@
+// Stage 1 of the DSN'15 study: assess every catalogue metric against the
+// characteristics of a good metric for the vulnerability-detection domain.
+//
+// Where the paper scores metrics by argument and expert judgment, vdbench
+// *measures* the measurable characteristics by simulation over the abstract
+// detector model (core/sampling.h) and takes only the inherently
+// qualitative ones (interpretability, ease of collection) from declared
+// catalogue metadata. Each score is normalised to [0,1], higher is better.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/metrics.h"
+#include "stats/rng.h"
+
+namespace vdbench::core {
+
+/// The characteristics of a good vulnerability-detection metric.
+enum class Property {
+  /// Separates tools of genuinely different quality in finite benchmarks.
+  kDiscrimination,
+  /// Improving a tool (higher sensitivity or lower fallout) never makes
+  /// the metric worse.
+  kMonotonicity,
+  /// Value of a fixed tool does not drift when workload prevalence
+  /// changes — required to compare results across workloads.
+  kPrevalenceRobustness,
+  /// Low sampling variance across repeated benchmark runs.
+  kStability,
+  /// Remains defined on small or degenerate benchmark outcomes.
+  kDefinedness,
+  /// Has a finite, normalised range (values comparable across studies).
+  kNormalization,
+  /// Reflects the scenario's relative cost of misses vs false alarms.
+  kCostAwareness,
+  /// Practitioners can interpret the value directly (declared).
+  kInterpretability,
+  /// Cheap to collect; penalises metrics needing a TN frame (declared).
+  kCollectionEase,
+};
+
+inline constexpr std::size_t kPropertyCount = 9;
+
+/// All properties in canonical order (the column order of experiment E2).
+[[nodiscard]] std::span<const Property> all_properties();
+
+/// Short display name, e.g. "discrimination".
+[[nodiscard]] std::string_view property_name(Property p);
+
+/// One-line description for tables and docs.
+[[nodiscard]] std::string_view property_description(Property p);
+
+/// Tuning of the empirical assessment.
+struct AssessmentConfig {
+  /// Candidate sites per finite benchmark run.
+  std::uint64_t benchmark_items = 500;
+  /// Prevalence of the reference workload.
+  double base_prevalence = 0.10;
+  /// Trials per stochastic sub-experiment.
+  std::size_t trials = 300;
+  /// Items for asymptotic (noise-free) evaluations.
+  std::uint64_t asymptotic_items = 1'000'000;
+  /// Prevalence grid for the robustness sweep.
+  std::vector<double> prevalence_grid = {0.005, 0.01, 0.02, 0.05,
+                                         0.1,   0.2,  0.3,  0.5};
+  /// Cost model handed to cost-aware metrics during assessment.
+  double cost_fn = 5.0;
+  double cost_fp = 1.0;
+  /// Sensitivity gaps used by the discrimination experiment.
+  std::vector<double> quality_gaps = {0.02, 0.05, 0.10};
+
+  /// Throws std::invalid_argument when a field is out of range.
+  void validate() const;
+};
+
+/// Scores of one metric on every property, in canonical property order.
+struct MetricAssessment {
+  MetricId metric{};
+  std::array<double, kPropertyCount> scores{};
+
+  /// Score for one property.
+  [[nodiscard]] double score(Property p) const;
+  /// Weighted aggregate; weights given in canonical property order and
+  /// normalised internally. Throws on size mismatch or all-zero weights.
+  [[nodiscard]] double weighted_score(std::span<const double> weights) const;
+};
+
+/// Empirical metric-property assessor (deterministic given the Rng seed).
+class PropertyAssessor {
+ public:
+  explicit PropertyAssessor(AssessmentConfig config = {});
+
+  [[nodiscard]] const AssessmentConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Assess one metric.
+  [[nodiscard]] MetricAssessment assess(MetricId id, stats::Rng& rng) const;
+
+  /// Assess every ranking-capable metric, in catalogue order.
+  [[nodiscard]] std::vector<MetricAssessment> assess_all(
+      stats::Rng& rng) const;
+
+ private:
+  [[nodiscard]] double assess_discrimination(MetricId id,
+                                             stats::Rng& rng) const;
+  [[nodiscard]] double assess_monotonicity(MetricId id) const;
+  [[nodiscard]] double assess_prevalence_robustness(MetricId id) const;
+  [[nodiscard]] double assess_stability(MetricId id, stats::Rng& rng) const;
+  [[nodiscard]] double assess_definedness(MetricId id, stats::Rng& rng) const;
+  [[nodiscard]] double assess_cost_awareness(MetricId id) const;
+
+  AssessmentConfig config_;
+};
+
+}  // namespace vdbench::core

@@ -1,0 +1,114 @@
+#include "core/roc.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vdbench::core {
+
+RocCurve::RocCurve(std::span<const ScoredItem> items) {
+  for (const ScoredItem& item : items) {
+    if (item.positive)
+      ++positives_;
+    else
+      ++negatives_;
+  }
+  if (positives_ == 0 || negatives_ == 0)
+    throw std::invalid_argument(
+        "RocCurve: need at least one positive and one negative item");
+
+  std::vector<ScoredItem> sorted(items.begin(), items.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              return a.score > b.score;
+            });
+
+  // Strictest point first: nothing classified positive.
+  RocPoint origin;
+  origin.threshold = sorted.front().score + 1.0;
+  origin.tn = negatives_;
+  origin.fn = positives_;
+  points_.push_back(origin);
+
+  std::uint64_t tp = 0, fp = 0;
+  double tie_tp = 0.0;  // Mann-Whitney tie accounting
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const double score = sorted[i].score;
+    std::uint64_t pos_here = 0, neg_here = 0;
+    while (i < sorted.size() && sorted[i].score == score) {
+      if (sorted[i].positive)
+        ++pos_here;
+      else
+        ++neg_here;
+      ++i;
+    }
+    // AUC increment: negatives at this score pair with all positives seen
+    // strictly before (full win) plus positives tied here (half win).
+    tie_tp += static_cast<double>(neg_here) *
+              (static_cast<double>(tp) + static_cast<double>(pos_here) / 2.0);
+    tp += pos_here;
+    fp += neg_here;
+    RocPoint point;
+    point.threshold = score;
+    point.tp = tp;
+    point.fp = fp;
+    point.fn = positives_ - tp;
+    point.tn = negatives_ - fp;
+    point.tpr = static_cast<double>(tp) / static_cast<double>(positives_);
+    point.fpr = static_cast<double>(fp) / static_cast<double>(negatives_);
+    points_.push_back(point);
+  }
+  auc_ = tie_tp /
+         (static_cast<double>(positives_) * static_cast<double>(negatives_));
+}
+
+const RocPoint& RocCurve::optimal_point(double cost_fn, double cost_fp) const {
+  if (cost_fn < 0.0 || cost_fp < 0.0)
+    throw std::invalid_argument("optimal_point: costs must be >= 0");
+  const RocPoint* best = &points_.front();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const RocPoint& p : points_) {
+    const double cost = cost_fn * static_cast<double>(p.fn) +
+                        cost_fp * static_cast<double>(p.fp);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &p;
+    }
+  }
+  return *best;
+}
+
+const RocPoint& RocCurve::youden_point() const {
+  const RocPoint* best = &points_.front();
+  double best_j = -2.0;
+  for (const RocPoint& p : points_) {
+    const double j = p.tpr - p.fpr;
+    if (j > best_j) {
+      best_j = j;
+      best = &p;
+    }
+  }
+  return *best;
+}
+
+double RocCurve::tpr_at_fpr(double fpr_budget) const {
+  if (fpr_budget < 0.0 || fpr_budget > 1.0)
+    throw std::invalid_argument("tpr_at_fpr: budget in [0,1]");
+  // Points are ordered by increasing fpr; find the bracketing pair.
+  const RocPoint* lo = &points_.front();
+  for (const RocPoint& p : points_) {
+    if (p.fpr <= fpr_budget) {
+      lo = &p;
+    } else {
+      // Linear interpolation between lo and p.
+      const double span = p.fpr - lo->fpr;
+      if (span <= 0.0) return lo->tpr;
+      const double frac = (fpr_budget - lo->fpr) / span;
+      return lo->tpr + frac * (p.tpr - lo->tpr);
+    }
+  }
+  return points_.back().tpr;
+}
+
+}  // namespace vdbench::core

@@ -1,0 +1,73 @@
+// ROC analysis over scored detections: threshold sweeps, exact AUC, and
+// cost-optimal operating-point selection.
+//
+// Point-metric comparisons (precision, recall, ...) evaluate a tool at the
+// single threshold it shipped with; ROC analysis evaluates the underlying
+// *detector* across all thresholds. The E11 extension experiment uses this
+// to show when threshold-free comparison (AUC) and fixed-threshold metrics
+// disagree about which tool is better — and how the scenario cost model
+// picks the right operating point.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vdbench::core {
+
+/// One scored item: the detector's suspicion score for a candidate site
+/// and whether the site really is vulnerable.
+struct ScoredItem {
+  double score = 0.0;
+  bool positive = false;
+};
+
+/// One point of a ROC curve, tagged with the threshold that produced it.
+struct RocPoint {
+  double threshold = 0.0;  ///< classify positive when score >= threshold
+  double tpr = 0.0;
+  double fpr = 0.0;
+  std::uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
+};
+
+/// A full ROC curve over scored items.
+class RocCurve {
+ public:
+  /// Build from scored items. Requires at least one positive and one
+  /// negative item; throws std::invalid_argument otherwise. Points are
+  /// ordered from the strictest threshold (0,0 corner) to the laxest
+  /// (1,1 corner), one point per distinct score.
+  explicit RocCurve(std::span<const ScoredItem> items);
+
+  [[nodiscard]] const std::vector<RocPoint>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] std::uint64_t positives() const noexcept { return positives_; }
+  [[nodiscard]] std::uint64_t negatives() const noexcept { return negatives_; }
+
+  /// Exact AUC (Mann-Whitney: ties count half), equal to the trapezoidal
+  /// area under the step curve.
+  [[nodiscard]] double auc() const noexcept { return auc_; }
+
+  /// The point minimising expected cost under the given cost model and the
+  /// curve's own prevalence. Ties resolved toward the strictest threshold.
+  /// Throws std::invalid_argument on negative costs.
+  [[nodiscard]] const RocPoint& optimal_point(double cost_fn,
+                                              double cost_fp) const;
+
+  /// The point maximising Youden's J (TPR - FPR).
+  [[nodiscard]] const RocPoint& youden_point() const;
+
+  /// Interpolated TPR at a given FPR budget (linear between points);
+  /// fpr_budget must be in [0, 1].
+  [[nodiscard]] double tpr_at_fpr(double fpr_budget) const;
+
+ private:
+  std::vector<RocPoint> points_;
+  std::uint64_t positives_ = 0;
+  std::uint64_t negatives_ = 0;
+  double auc_ = 0.0;
+};
+
+}  // namespace vdbench::core

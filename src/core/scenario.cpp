@@ -1,0 +1,154 @@
+#include "core/scenario.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace vdbench::core {
+
+namespace {
+
+// Property weights in canonical order:
+// {discrimination, monotonicity, prevalence robustness, stability,
+//  definedness, normalization, cost awareness, interpretability,
+//  collection ease}
+std::vector<Scenario> make_builtin_scenarios() {
+  std::vector<Scenario> out;
+
+  Scenario s1;
+  s1.key = "s1_critical";
+  s1.name = "Security-critical deployment";
+  s1.description =
+      "selecting a tool for code whose exploitation is catastrophic; "
+      "missing a vulnerability is far costlier than triaging a false alarm";
+  s1.cost_fn = 50.0;
+  s1.cost_fp = 1.0;
+  s1.prevalence = 0.05;
+  s1.benchmark_items = 800;
+  s1.sens_lo = 0.5;
+  s1.sens_hi = 0.99;
+  s1.fallout_lo = 0.01;
+  s1.fallout_hi = 0.30;
+  s1.property_weights = {0.20, 0.15, 0.10, 0.10, 0.10, 0.05, 0.20, 0.05, 0.05};
+  out.push_back(std::move(s1));
+
+  Scenario s2;
+  s2.key = "s2_budget";
+  s2.name = "Audit under review budget";
+  s2.description =
+      "security team with bounded analyst time; every false alarm burns "
+      "review budget and erodes trust in the tool";
+  s2.cost_fn = 1.0;
+  s2.cost_fp = 8.0;
+  s2.prevalence = 0.10;
+  s2.benchmark_items = 500;
+  s2.sens_lo = 0.4;
+  s2.sens_hi = 0.9;
+  s2.fallout_lo = 0.02;
+  s2.fallout_hi = 0.35;
+  s2.property_weights = {0.20, 0.10, 0.10, 0.10, 0.10, 0.05, 0.20, 0.10, 0.05};
+  out.push_back(std::move(s2));
+
+  Scenario s3;
+  s3.key = "s3_balanced";
+  s3.name = "Balanced tool comparison";
+  s3.description =
+      "benchmark campaign comparing tools with no strong cost asymmetry "
+      "(e.g. a published tool ranking)";
+  s3.cost_fn = 1.0;
+  s3.cost_fp = 1.0;
+  s3.prevalence = 0.20;
+  s3.benchmark_items = 600;
+  s3.sens_lo = 0.3;
+  s3.sens_hi = 0.95;
+  s3.fallout_lo = 0.01;
+  s3.fallout_hi = 0.25;
+  s3.property_weights = {0.25, 0.15, 0.15, 0.10, 0.10, 0.10, 0.00, 0.10, 0.05};
+  out.push_back(std::move(s3));
+
+  Scenario s4;
+  s4.key = "s4_rare";
+  s4.name = "Rare-vulnerability hunting";
+  s4.description =
+      "mature codebase where true vulnerabilities are very rare; the "
+      "benchmark workload is extremely imbalanced";
+  s4.cost_fn = 20.0;
+  s4.cost_fp = 1.0;
+  s4.prevalence = 0.005;
+  s4.benchmark_items = 20000;
+  s4.sens_lo = 0.4;
+  s4.sens_hi = 0.95;
+  s4.fallout_lo = 0.001;
+  s4.fallout_hi = 0.05;
+  s4.property_weights = {0.20, 0.10, 0.25, 0.10, 0.10, 0.05, 0.10, 0.05, 0.05};
+  out.push_back(std::move(s4));
+
+  Scenario s5;
+  s5.key = "s5_regression";
+  s5.name = "Regression tracking / tool tuning";
+  s5.description =
+      "tracking one evolving tool across releases; needs a sensitive, "
+      "stable point estimate comparable across runs";
+  s5.cost_fn = 5.0;
+  s5.cost_fp = 1.0;
+  s5.prevalence = 0.10;
+  s5.benchmark_items = 500;
+  s5.sens_lo = 0.55;
+  s5.sens_hi = 0.80;
+  s5.fallout_lo = 0.03;
+  s5.fallout_hi = 0.12;
+  s5.property_weights = {0.15, 0.10, 0.15, 0.25, 0.10, 0.10, 0.05, 0.05, 0.05};
+  out.push_back(std::move(s5));
+
+  for (const Scenario& s : out) s.validate();
+  return out;
+}
+
+}  // namespace
+
+void Scenario::validate() const {
+  if (key.empty() || name.empty())
+    throw std::invalid_argument("Scenario: key and name required");
+  if (cost_fn < 0.0 || cost_fp < 0.0 || (cost_fn == 0.0 && cost_fp == 0.0))
+    throw std::invalid_argument("Scenario: costs must be >= 0, not both 0");
+  if (prevalence <= 0.0 || prevalence >= 1.0)
+    throw std::invalid_argument("Scenario: prevalence in (0,1)");
+  if (benchmark_items == 0)
+    throw std::invalid_argument("Scenario: benchmark_items > 0");
+  if (!(sens_lo >= 0.0 && sens_lo < sens_hi && sens_hi <= 1.0))
+    throw std::invalid_argument("Scenario: bad sensitivity range");
+  if (!(fallout_lo >= 0.0 && fallout_lo < fallout_hi && fallout_hi <= 1.0))
+    throw std::invalid_argument("Scenario: bad fallout range");
+  double wsum = 0.0;
+  for (const double w : property_weights) {
+    if (w < 0.0)
+      throw std::invalid_argument("Scenario: property weights must be >= 0");
+    wsum += w;
+  }
+  if (wsum <= 0.0)
+    throw std::invalid_argument("Scenario: all-zero property weights");
+}
+
+DetectorProfile Scenario::sample_tool(stats::Rng& rng) const {
+  DetectorProfile d;
+  d.sensitivity = rng.uniform(sens_lo, sens_hi);
+  d.fallout = rng.uniform(fallout_lo, fallout_hi);
+  return d;
+}
+
+double Scenario::true_cost(const DetectorProfile& tool) const {
+  return expected_cost(tool, prevalence, cost_fn, cost_fp);
+}
+
+std::span<const Scenario> builtin_scenarios() {
+  static const std::vector<Scenario> scenarios = make_builtin_scenarios();
+  return scenarios;
+}
+
+const Scenario& builtin_scenario(std::string_view key) {
+  for (const Scenario& s : builtin_scenarios())
+    if (s.key == key) return s;
+  throw std::invalid_argument("builtin_scenario: unknown key: " +
+                              std::string(key));
+}
+
+}  // namespace vdbench::core

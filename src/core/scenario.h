@@ -1,0 +1,60 @@
+// Stage 2 of the DSN'15 study: vulnerability-detection scenarios.
+//
+// A scenario fixes everything about the use context that changes which
+// metric is adequate: the relative cost of a missed vulnerability versus a
+// false alarm, the prevalence regime of the workloads, the size of a
+// typical benchmark, the population of candidate tools, and the relative
+// importance of the metric properties in that context. The built-in
+// scenarios S1..S5 reconstruct the kinds of contexts the paper analyses
+// (security-critical deployment, review-budget-bound auditing, balanced
+// comparison, rare-vulnerability hunting, regression tracking).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/properties.h"
+#include "core/sampling.h"
+
+namespace vdbench::core {
+
+/// A vulnerability-detection use context.
+struct Scenario {
+  std::string key;          ///< stable id, e.g. "s1_critical"
+  std::string name;         ///< display name
+  std::string description;  ///< one-line context description
+  double cost_fn = 1.0;     ///< cost of missing a vulnerability
+  double cost_fp = 1.0;     ///< cost of a false alarm
+  double prevalence = 0.1;  ///< vulnerable fraction of candidate sites
+  std::uint64_t benchmark_items = 500;  ///< sites in a typical benchmark
+  /// Population of candidate tools considered in this context: sensitivity
+  /// and fallout are sampled uniformly from these ranges.
+  double sens_lo = 0.3, sens_hi = 0.95;
+  double fallout_lo = 0.01, fallout_hi = 0.25;
+  /// Importance of each metric property in this context, in canonical
+  /// property order (see core/properties.h). Used both by the analytical
+  /// selection and as the latent ground truth for simulated experts.
+  std::array<double, kPropertyCount> property_weights{};
+
+  /// Throws std::invalid_argument if any field is out of range.
+  void validate() const;
+
+  /// Draw a plausible candidate tool for this context.
+  [[nodiscard]] DetectorProfile sample_tool(stats::Rng& rng) const;
+
+  /// Ground-truth quality of a tool in this context (lower is better):
+  /// the expected per-site cost under the scenario's cost model.
+  [[nodiscard]] double true_cost(const DetectorProfile& tool) const;
+};
+
+/// The five built-in scenarios (S1..S5) used by the experiments.
+[[nodiscard]] std::span<const Scenario> builtin_scenarios();
+
+/// Look up a built-in scenario by key; throws std::invalid_argument when
+/// the key is unknown.
+[[nodiscard]] const Scenario& builtin_scenario(std::string_view key);
+
+}  // namespace vdbench::core

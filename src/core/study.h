@@ -1,0 +1,89 @@
+// Study orchestrator: the whole DSN'15 three-stage study behind one API.
+//
+//   Study study(StudyConfig{});
+//   study.run(rng);
+//   study.recommendation("s1_critical").best();   // stage 1+2 selection
+//   study.validation("s1_critical").same_top;     // stage 3 agreement
+//
+// The bench binaries and downstream users share this instead of re-wiring
+// PropertyAssessor, ScenarioAnalyzer, MetricSelector and McdaValidator by
+// hand. Stages are computed once per scenario and cached; everything is
+// deterministic given the seed in the config.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/validation.h"
+
+namespace vdbench::core {
+
+/// Configuration of a full study run.
+struct StudyConfig {
+  AssessmentConfig assessment{};
+  ScenarioAnalyzer::Config analyzer{};
+  MetricSelector::Config selector{};
+  ValidationConfig validation{};
+  /// Scenarios to study; empty = the built-in S1..S5.
+  std::vector<Scenario> scenarios;
+  /// Master seed; every stage derives independent substreams from it.
+  std::uint64_t seed = 20150622;
+
+  /// Throws std::invalid_argument when a sub-config is invalid.
+  void validate() const;
+};
+
+/// Runs and caches the three study stages.
+class Study {
+ public:
+  explicit Study(StudyConfig config = StudyConfig{});
+
+  /// Execute all stages for all scenarios. Idempotent: re-running with the
+  /// same config recomputes identical results.
+  void run();
+
+  [[nodiscard]] bool has_run() const noexcept { return has_run_; }
+  [[nodiscard]] const StudyConfig& config() const noexcept { return config_; }
+
+  /// Scenarios the study covers.
+  [[nodiscard]] const std::vector<Scenario>& scenarios() const noexcept {
+    return scenarios_;
+  }
+
+  /// Stage-1 assessments (catalogue order). Throws std::logic_error before
+  /// run().
+  [[nodiscard]] const std::vector<MetricAssessment>& assessments() const;
+
+  /// Stage-2 effectiveness for a scenario key. Throws std::logic_error
+  /// before run(), std::invalid_argument for unknown keys.
+  [[nodiscard]] const std::vector<EffectivenessResult>& effectiveness(
+      std::string_view scenario_key) const;
+
+  /// Stage-2+1 analytical recommendation for a scenario key.
+  [[nodiscard]] const ScenarioRecommendation& recommendation(
+      std::string_view scenario_key) const;
+
+  /// Stage-3 validation outcome for a scenario key.
+  [[nodiscard]] const ValidationOutcome& validation(
+      std::string_view scenario_key) const;
+
+  /// True when stage 3 agreed with the analytical top choice in every
+  /// scenario — the study's overall validation verdict.
+  [[nodiscard]] bool validated() const;
+
+ private:
+  const Scenario& find_scenario(std::string_view key) const;
+  void require_run() const;
+
+  StudyConfig config_;
+  std::vector<Scenario> scenarios_;
+  bool has_run_ = false;
+  std::vector<MetricAssessment> assessments_;
+  std::map<std::string, std::vector<EffectivenessResult>, std::less<>>
+      effectiveness_;
+  std::map<std::string, ScenarioRecommendation, std::less<>> recommendations_;
+  std::map<std::string, ValidationOutcome, std::less<>> validations_;
+};
+
+}  // namespace vdbench::core

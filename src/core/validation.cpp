@@ -1,0 +1,111 @@
+#include "core/validation.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "mcda/topsis.h"
+#include "mcda/weighted_sum.h"
+#include "stats/rank.h"
+
+namespace vdbench::core {
+
+void ValidationConfig::validate() const {
+  if (expert_count == 0)
+    throw std::invalid_argument("ValidationConfig: expert_count > 0");
+  if (persona_spread < 0.0 || judgment_noise < 0.0)
+    throw std::invalid_argument("ValidationConfig: noise params >= 0");
+  if (fit_criterion_weight <= 0.0)
+    throw std::invalid_argument("ValidationConfig: fit_criterion_weight > 0");
+}
+
+McdaValidator::McdaValidator(ValidationConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+ValidationOutcome McdaValidator::validate(
+    const Scenario& scenario, std::span<const MetricAssessment> assessments,
+    std::span<const EffectivenessResult> effectiveness,
+    stats::Rng& rng) const {
+  scenario.validate();
+  std::unordered_map<MetricId, const MetricAssessment*> assessment_by_id;
+  for (const MetricAssessment& a : assessments)
+    assessment_by_id[a.metric] = &a;
+
+  ValidationOutcome out;
+  out.scenario_key = scenario.key;
+
+  // Collect the alternatives (metrics) and their per-criterion scores.
+  std::vector<const EffectivenessResult*> rows;
+  for (const EffectivenessResult& eff : effectiveness) {
+    if (metric_info(eff.metric).direction == Direction::kNone) continue;
+    if (!assessment_by_id.contains(eff.metric))
+      throw std::invalid_argument(
+          "McdaValidator: effectiveness without assessment for " +
+          std::string(metric_info(eff.metric).key));
+    rows.push_back(&eff);
+    out.metrics.push_back(eff.metric);
+  }
+  if (rows.empty())
+    throw std::invalid_argument("McdaValidator: no rankable metrics");
+
+  stats::Matrix scores(rows.size(), kValidationCriteria, 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const MetricAssessment& a = *assessment_by_id.at(rows[r]->metric);
+    for (std::size_t c = 0; c < kPropertyCount; ++c)
+      scores(r, c) = a.scores[c];
+    scores(r, kPropertyCount) = rows[r]->ranking_fidelity;
+  }
+
+  // Latent criteria weights: the scenario's property weights plus the
+  // scenario-fit criterion.
+  std::vector<double> latent(scenario.property_weights.begin(),
+                             scenario.property_weights.end());
+  latent.push_back(config_.fit_criterion_weight);
+
+  // Panel judgment -> AHP weights.
+  const mcda::ExpertPanel panel =
+      mcda::make_panel(latent, config_.expert_count, config_.persona_spread,
+                       config_.judgment_noise, rng);
+  stats::Rng judge_rng = rng.split(31);
+  for (const mcda::ComparisonMatrix& cm :
+       panel.individual_judgments(judge_rng))
+    out.expert_consistency_ratios.push_back(
+        mcda::ahp_priorities(cm).consistency_ratio);
+  stats::Rng agg_rng = rng.split(32);
+  const mcda::ComparisonMatrix aggregated =
+      panel.aggregate_judgments(agg_rng);
+  out.ahp = mcda::ahp_priorities(aggregated);
+
+  // Score alternatives under every MCDA method with the same weights.
+  out.mcda_scores = mcda::ahp_rate_alternatives(scores, out.ahp.weights);
+  const std::vector<mcda::CriterionKind> kinds(kValidationCriteria,
+                                               mcda::CriterionKind::kBenefit);
+  out.topsis_scores = mcda::topsis_closeness(scores, out.ahp.weights, kinds);
+  out.wsm_scores = mcda::weighted_sum_scores(scores, out.ahp.weights);
+
+  // Analytical baseline.
+  const MetricSelector selector(config_.selector);
+  const ScenarioRecommendation analytical =
+      selector.recommend(scenario, assessments, effectiveness);
+  out.analytical_scores =
+      analytical.overall_scores_in_catalogue_order(out.metrics);
+
+  // Agreement diagnostics.
+  const std::vector<std::size_t> mcda_order =
+      stats::order_descending(out.mcda_scores);
+  const std::vector<std::size_t> analytical_order =
+      stats::order_descending(out.analytical_scores);
+  out.mcda_top = out.metrics[mcda_order.front()];
+  out.analytical_top = out.metrics[analytical_order.front()];
+  out.kendall_agreement =
+      stats::kendall_tau(out.mcda_scores, out.analytical_scores);
+  out.top3_overlap = stats::top_k_overlap(
+      out.mcda_scores, out.analytical_scores,
+      std::min<std::size_t>(3, out.metrics.size()));
+  out.same_top = out.mcda_top == out.analytical_top;
+  return out;
+}
+
+}  // namespace vdbench::core

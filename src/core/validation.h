@@ -1,0 +1,90 @@
+// Stage 3 of the DSN'15 study: validate the analytical per-scenario metric
+// selection with an MCDA algorithm driven by experts' judgment.
+//
+// Criteria are the nine metric properties plus "scenario fit" (the
+// stage-2 ranking fidelity) as a tenth criterion. A simulated expert panel
+// judges the criteria pairwise (anchored at the scenario's latent property
+// weights); AHP extracts the panel's priority weights with a consistency
+// check; each metric is then rated under those weights and the resulting
+// ranking is compared against the analytical selection. Agreement between
+// the two — the paper's validation claim — is reported as Kendall's tau,
+// top-3 overlap and top-choice identity. TOPSIS and WSM scores under the
+// same weights are included for the method ablation (E9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/selection.h"
+#include "mcda/ahp.h"
+#include "mcda/expert.h"
+
+namespace vdbench::core {
+
+/// Criteria count of the validation hierarchy: properties + scenario fit.
+inline constexpr std::size_t kValidationCriteria = kPropertyCount + 1;
+
+/// Tuning of the validation run.
+struct ValidationConfig {
+  std::size_t expert_count = 7;
+  /// Persona-to-persona lognormal spread of latent criteria weights.
+  double persona_spread = 0.20;
+  /// Per-judgment lognormal noise (expert inconsistency).
+  double judgment_noise = 0.15;
+  /// Latent importance of the "scenario fit" criterion relative to the
+  /// scenario's property weights (which sum to ~1).
+  double fit_criterion_weight = 0.8;
+  /// Analytical baseline configuration.
+  MetricSelector::Config selector{};
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void validate() const;
+};
+
+/// Result of validating one scenario.
+struct ValidationOutcome {
+  std::string scenario_key;
+  /// Metrics considered, in catalogue order.
+  std::vector<MetricId> metrics;
+  /// Aggregated-panel AHP weights over the validation criteria, plus
+  /// consistency diagnostics.
+  mcda::AhpResult ahp;
+  /// Consistency ratio of each individual expert's judgment matrix.
+  std::vector<double> expert_consistency_ratios;
+  /// Final scores per metric under each method (aligned with `metrics`).
+  std::vector<double> mcda_scores;        ///< AHP ratings mode
+  std::vector<double> topsis_scores;      ///< TOPSIS closeness
+  std::vector<double> wsm_scores;         ///< weighted sum
+  std::vector<double> analytical_scores;  ///< MetricSelector overall
+  /// Top choices.
+  MetricId mcda_top{};
+  MetricId analytical_top{};
+  /// Agreement diagnostics between AHP and the analytical selection.
+  double kendall_agreement = 0.0;
+  double top3_overlap = 0.0;
+  bool same_top = false;
+};
+
+/// Runs the stage-3 validation for a scenario.
+class McdaValidator {
+ public:
+  explicit McdaValidator(ValidationConfig config = ValidationConfig{});
+
+  [[nodiscard]] const ValidationConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Validate one scenario given the stage-1 assessments and stage-2
+  /// effectiveness results (must cover the same metrics; kNone-direction
+  /// metrics are skipped). Deterministic given the Rng seed.
+  [[nodiscard]] ValidationOutcome validate(
+      const Scenario& scenario,
+      std::span<const MetricAssessment> assessments,
+      std::span<const EffectivenessResult> effectiveness,
+      stats::Rng& rng) const;
+
+ private:
+  ValidationConfig config_;
+};
+
+}  // namespace vdbench::core

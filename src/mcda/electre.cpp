@@ -1,0 +1,69 @@
+#include "mcda/electre.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdbench::mcda {
+
+void ElectreConfig::validate() const {
+  if (concordance_threshold < 0.0 || concordance_threshold > 1.0)
+    throw std::invalid_argument("ElectreConfig: concordance in [0,1]");
+  if (discordance_threshold < 0.0 || discordance_threshold > 1.0)
+    throw std::invalid_argument("ElectreConfig: discordance in [0,1]");
+}
+
+ElectreResult electre_outranking(const stats::Matrix& scores,
+                                 std::span<const double> weights,
+                                 const ElectreConfig& config) {
+  config.validate();
+  const std::size_t alts = scores.rows();
+  const std::size_t crits = scores.cols();
+  if (alts < 2)
+    throw std::invalid_argument("electre: need at least two alternatives");
+  if (weights.size() != crits)
+    throw std::invalid_argument("electre: one weight per criterion required");
+  const std::vector<double> w = stats::normalize_to_sum_one(weights);
+
+  // Criterion ranges for discordance normalisation.
+  std::vector<double> range(crits, 0.0);
+  for (std::size_t c = 0; c < crits; ++c) {
+    double lo = scores(0, c), hi = scores(0, c);
+    for (std::size_t a = 1; a < alts; ++a) {
+      lo = std::min(lo, scores(a, c));
+      hi = std::max(hi, scores(a, c));
+    }
+    range[c] = hi - lo;
+  }
+
+  ElectreResult result{stats::Matrix(alts, alts, 0.0),
+                       stats::Matrix(alts, alts, 0.0),
+                       stats::Matrix(alts, alts, 0.0),
+                       std::vector<double>(alts, 0.0)};
+
+  for (std::size_t a = 0; a < alts; ++a) {
+    for (std::size_t b = 0; b < alts; ++b) {
+      if (a == b) continue;
+      double concordance = 0.0;
+      double discordance = 0.0;
+      for (std::size_t c = 0; c < crits; ++c) {
+        if (scores(a, c) >= scores(b, c)) {
+          concordance += w[c];
+        } else if (range[c] > 0.0) {
+          discordance =
+              std::max(discordance, (scores(b, c) - scores(a, c)) / range[c]);
+        }
+      }
+      result.concordance(a, b) = concordance;
+      result.discordance(a, b) = discordance;
+      if (concordance >= config.concordance_threshold &&
+          discordance <= config.discordance_threshold) {
+        result.outranks(a, b) = 1.0;
+        result.net_score[a] += 1.0;
+        result.net_score[b] -= 1.0;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vdbench::mcda

@@ -1,0 +1,47 @@
+// ELECTRE I outranking analysis — a third MCDA family for the method
+// ablation: instead of aggregating scores into one number (AHP/WSM) or
+// distances (TOPSIS), ELECTRE builds a pairwise *outranking* relation from
+// concordance (how much of the weight agrees that a is at least as good as
+// b) and discordance (how strongly any single criterion vetoes it).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace vdbench::mcda {
+
+/// Tuning thresholds of the outranking test.
+struct ElectreConfig {
+  /// Minimum concordance for "a outranks b" (classically 0.6-0.8).
+  double concordance_threshold = 0.7;
+  /// Maximum tolerated discordance (normalised to criterion ranges).
+  double discordance_threshold = 0.3;
+
+  /// Throws std::invalid_argument unless both thresholds are in [0, 1].
+  void validate() const;
+};
+
+/// Full ELECTRE I result over n alternatives.
+struct ElectreResult {
+  stats::Matrix concordance;   ///< n x n, C(a,b) in [0,1]
+  stats::Matrix discordance;   ///< n x n, D(a,b) in [0,1]
+  /// outranks(a,b) == 1 when a outranks b under the thresholds.
+  stats::Matrix outranks;
+  /// Net outranking score per alternative: (#outranked) - (#outranking it).
+  /// Higher is better; induces the final ranking.
+  std::vector<double> net_score;
+};
+
+/// Run ELECTRE I. `scores(a, c)` must be oriented higher-is-better on all
+/// criteria (invert cost criteria beforehand). Weights are normalised
+/// internally. Throws on dimension mismatch, fewer than two alternatives,
+/// or a criterion with zero range across alternatives when it would be
+/// needed for discordance normalisation (constant criteria are skipped).
+[[nodiscard]] ElectreResult electre_outranking(
+    const stats::Matrix& scores, std::span<const double> weights,
+    const ElectreConfig& config = {});
+
+}  // namespace vdbench::mcda

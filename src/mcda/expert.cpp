@@ -1,0 +1,99 @@
+#include "mcda/expert.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vdbench::mcda {
+
+void ExpertPersona::validate() const {
+  if (latent_weights.empty())
+    throw std::invalid_argument("ExpertPersona: empty latent weights");
+  for (const double w : latent_weights)
+    if (w <= 0.0)
+      throw std::invalid_argument("ExpertPersona: weights must be > 0");
+  if (judgment_noise < 0.0)
+    throw std::invalid_argument("ExpertPersona: noise must be >= 0");
+}
+
+ComparisonMatrix ExpertPersona::judge(stats::Rng& rng) const {
+  validate();
+  const std::size_t n = latent_weights.size();
+  ComparisonMatrix cm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double true_ratio = latent_weights[i] / latent_weights[j];
+      const double noisy =
+          true_ratio * rng.lognormal(0.0, judgment_noise);
+      cm.set_judgment(i, j, snap_to_saaty_scale(noisy));
+    }
+  }
+  return cm;
+}
+
+ExpertPanel::ExpertPanel(std::vector<ExpertPersona> experts)
+    : experts_(std::move(experts)) {
+  if (experts_.empty())
+    throw std::invalid_argument("ExpertPanel: need at least one expert");
+  const std::size_t n = experts_.front().latent_weights.size();
+  for (const ExpertPersona& e : experts_) {
+    e.validate();
+    if (e.latent_weights.size() != n)
+      throw std::invalid_argument(
+          "ExpertPanel: experts judge different criteria counts");
+  }
+}
+
+std::vector<ComparisonMatrix> ExpertPanel::individual_judgments(
+    stats::Rng& rng) const {
+  std::vector<ComparisonMatrix> out;
+  out.reserve(experts_.size());
+  for (std::size_t e = 0; e < experts_.size(); ++e) {
+    stats::Rng child = rng.split(e + 7001);
+    out.push_back(experts_[e].judge(child));
+  }
+  return out;
+}
+
+ComparisonMatrix ExpertPanel::aggregate_judgments(stats::Rng& rng) const {
+  const std::vector<ComparisonMatrix> judgments = individual_judgments(rng);
+  const std::size_t n = criteria_count();
+  ComparisonMatrix agg(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double log_acc = 0.0;
+      for (const ComparisonMatrix& cm : judgments)
+        log_acc += std::log(cm(i, j));
+      agg.set_judgment(i, j,
+                       std::exp(log_acc / static_cast<double>(judgments.size())));
+    }
+  }
+  return agg;
+}
+
+ExpertPanel make_panel(std::span<const double> latent_weights,
+                       std::size_t expert_count, double persona_spread,
+                       double judgment_noise, stats::Rng& rng) {
+  if (expert_count == 0)
+    throw std::invalid_argument("make_panel: need at least one expert");
+  if (persona_spread < 0.0)
+    throw std::invalid_argument("make_panel: persona_spread must be >= 0");
+  constexpr double kWeightFloor = 0.01;
+  std::vector<ExpertPersona> experts;
+  experts.reserve(expert_count);
+  for (std::size_t e = 0; e < expert_count; ++e) {
+    ExpertPersona persona;
+    persona.name = "expert-" + std::to_string(e + 1);
+    persona.judgment_noise = judgment_noise;
+    persona.latent_weights.reserve(latent_weights.size());
+    for (const double w : latent_weights) {
+      const double base = std::max(w, kWeightFloor);
+      persona.latent_weights.push_back(base *
+                                       rng.lognormal(0.0, persona_spread));
+    }
+    persona.validate();
+    experts.push_back(std::move(persona));
+  }
+  return ExpertPanel(std::move(experts));
+}
+
+}  // namespace vdbench::mcda

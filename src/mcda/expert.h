@@ -1,0 +1,75 @@
+// Simulated expert judgment for the stage-3 MCDA validation.
+//
+// The paper validates its analytical metric selection by eliciting
+// pairwise criteria comparisons from security experts and running an MCDA
+// algorithm over them. vdbench substitutes a panel of simulated experts:
+// each persona holds latent per-criterion importances (anchored at the
+// scenario's property weights) and emits a Saaty-scale pairwise matrix
+// whose ratios are perturbed by multiplicative lognormal noise — producing
+// exactly the kind of imperfectly-consistent judgments real experts give.
+// Individual matrices are aggregated with the standard element-wise
+// geometric mean (AIJ), which preserves reciprocity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mcda/ahp.h"
+#include "stats/rng.h"
+
+namespace vdbench::mcda {
+
+/// One simulated expert.
+struct ExpertPersona {
+  std::string name;
+  /// Latent importance per criterion (> 0); the judgments an expert gives
+  /// scatter around the ratios of these weights.
+  std::vector<double> latent_weights;
+  /// Standard deviation of the lognormal noise applied to each judged
+  /// ratio (0 = perfectly consistent expert).
+  double judgment_noise = 0.15;
+
+  /// Throws std::invalid_argument on empty/non-positive weights or
+  /// negative noise.
+  void validate() const;
+
+  /// Emit one pairwise comparison matrix over the criteria.
+  [[nodiscard]] ComparisonMatrix judge(stats::Rng& rng) const;
+};
+
+/// A panel of experts judging the same criteria.
+class ExpertPanel {
+ public:
+  /// Throws std::invalid_argument when empty or when experts disagree on
+  /// the number of criteria.
+  explicit ExpertPanel(std::vector<ExpertPersona> experts);
+
+  [[nodiscard]] const std::vector<ExpertPersona>& experts() const noexcept {
+    return experts_;
+  }
+  [[nodiscard]] std::size_t criteria_count() const noexcept {
+    return experts_.front().latent_weights.size();
+  }
+
+  /// Each expert's individual judgment matrix.
+  [[nodiscard]] std::vector<ComparisonMatrix> individual_judgments(
+      stats::Rng& rng) const;
+
+  /// Aggregate panel judgment: element-wise geometric mean of the
+  /// individual matrices (AIJ aggregation; preserves reciprocity).
+  [[nodiscard]] ComparisonMatrix aggregate_judgments(stats::Rng& rng) const;
+
+ private:
+  std::vector<ExpertPersona> experts_;
+};
+
+/// Build a panel whose personas share the given latent criteria weights,
+/// each jittered persona-to-persona by multiplicative lognormal spread.
+/// Weights are floored at a small positive value so zero-importance
+/// criteria remain judgeable ("extremely less important").
+[[nodiscard]] ExpertPanel make_panel(std::span<const double> latent_weights,
+                                     std::size_t expert_count,
+                                     double persona_spread,
+                                     double judgment_noise, stats::Rng& rng);
+
+}  // namespace vdbench::mcda

@@ -1,0 +1,75 @@
+#include "mcda/promethee.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdbench::mcda {
+
+void PrometheeConfig::validate() const {
+  if (indifference_fraction < 0.0 || preference_fraction > 1.0 ||
+      indifference_fraction >= preference_fraction)
+    throw std::invalid_argument(
+        "PrometheeConfig: need 0 <= indifference < preference <= 1");
+}
+
+PrometheeResult promethee_flows(const stats::Matrix& scores,
+                                std::span<const double> weights,
+                                const PrometheeConfig& config) {
+  config.validate();
+  const std::size_t alts = scores.rows();
+  const std::size_t crits = scores.cols();
+  if (alts < 2)
+    throw std::invalid_argument("promethee: need at least two alternatives");
+  if (weights.size() != crits)
+    throw std::invalid_argument(
+        "promethee: one weight per criterion required");
+  const std::vector<double> w = stats::normalize_to_sum_one(weights);
+
+  std::vector<double> range(crits, 0.0);
+  for (std::size_t c = 0; c < crits; ++c) {
+    double lo = scores(0, c), hi = scores(0, c);
+    for (std::size_t a = 1; a < alts; ++a) {
+      lo = std::min(lo, scores(a, c));
+      hi = std::max(hi, scores(a, c));
+    }
+    range[c] = hi - lo;
+  }
+
+  // Preference intensity of a over b on criterion c.
+  const auto preference = [&](std::size_t a, std::size_t b, std::size_t c) {
+    if (range[c] <= 0.0) return 0.0;
+    const double d = (scores(a, c) - scores(b, c)) / range[c];
+    const double q = config.indifference_fraction;
+    const double p = config.preference_fraction;
+    if (d <= q) return 0.0;
+    if (d >= p) return 1.0;
+    return (d - q) / (p - q);
+  };
+
+  stats::Matrix pi(alts, alts, 0.0);
+  for (std::size_t a = 0; a < alts; ++a) {
+    for (std::size_t b = 0; b < alts; ++b) {
+      if (a == b) continue;
+      double acc = 0.0;
+      for (std::size_t c = 0; c < crits; ++c)
+        acc += w[c] * preference(a, b, c);
+      pi(a, b) = acc;
+    }
+  }
+
+  PrometheeResult result{std::vector<double>(alts, 0.0),
+                         std::vector<double>(alts, 0.0),
+                         std::vector<double>(alts, 0.0)};
+  const double denom = static_cast<double>(alts - 1);
+  for (std::size_t a = 0; a < alts; ++a) {
+    for (std::size_t b = 0; b < alts; ++b) {
+      if (a == b) continue;
+      result.positive_flow[a] += pi(a, b) / denom;
+      result.negative_flow[a] += pi(b, a) / denom;
+    }
+    result.net_flow[a] = result.positive_flow[a] - result.negative_flow[a];
+  }
+  return result;
+}
+
+}  // namespace vdbench::mcda

@@ -1,0 +1,42 @@
+// PROMETHEE II net-flow ranking — a fourth MCDA family for the method
+// ablation. Pairwise preference intensities are computed per criterion
+// through a linear preference function with indifference and preference
+// thresholds, weighted, and reduced to one net outranking flow per
+// alternative (complete ranking).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace vdbench::mcda {
+
+/// Linear ("V-shape with indifference") preference function thresholds,
+/// expressed as fractions of each criterion's observed range.
+struct PrometheeConfig {
+  /// Differences below this fraction of the range are indifferent.
+  double indifference_fraction = 0.05;
+  /// Differences above this fraction give full preference.
+  double preference_fraction = 0.3;
+
+  /// Throws std::invalid_argument unless 0 <= q < p <= 1.
+  void validate() const;
+};
+
+/// PROMETHEE II result.
+struct PrometheeResult {
+  std::vector<double> positive_flow;  ///< phi+ per alternative
+  std::vector<double> negative_flow;  ///< phi- per alternative
+  std::vector<double> net_flow;       ///< phi = phi+ - phi-; higher better
+};
+
+/// Run PROMETHEE II. `scores(a, c)` oriented higher-is-better; weights
+/// normalised internally. Constant criteria contribute no preference.
+/// Throws on dimension mismatch or fewer than two alternatives.
+[[nodiscard]] PrometheeResult promethee_flows(
+    const stats::Matrix& scores, std::span<const double> weights,
+    const PrometheeConfig& config = {});
+
+}  // namespace vdbench::mcda

@@ -1,0 +1,48 @@
+// Weight-sensitivity analysis for MCDA rankings: how stable is the top
+// choice (and the full ordering) when the criteria weights are perturbed?
+// Standard MCDA practice before trusting a recommendation, and used by the
+// E9 ablation to show the validation conclusion is not a knife-edge
+// artifact of one weight vector.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.h"
+#include "stats/rng.h"
+
+namespace vdbench::mcda {
+
+/// Outcome of a weight-perturbation experiment.
+struct SensitivityResult {
+  /// Fraction of perturbed weight vectors preserving the baseline winner.
+  double top_choice_stability = 0.0;
+  /// Mean Kendall distance (in [0,1]) between the baseline ranking and
+  /// each perturbed ranking.
+  double mean_kendall_distance = 0.0;
+  /// How often each alternative won across perturbations (sums to 1).
+  std::vector<double> win_share;
+  /// Number of perturbations evaluated.
+  std::size_t trials = 0;
+};
+
+/// Perturb weights multiplicatively (lognormal, sd = `perturbation`),
+/// re-rank alternatives by weighted sum each time, and summarise ranking
+/// stability. `scores(a, c)` oriented higher-is-better. Throws on
+/// dimension mismatch, empty input or non-positive perturbation.
+[[nodiscard]] SensitivityResult weight_sensitivity(
+    const stats::Matrix& scores, std::span<const double> weights,
+    double perturbation, std::size_t trials, stats::Rng& rng);
+
+/// Smallest relative change of one criterion's weight that flips the top
+/// choice under weighted-sum scoring, searched per criterion over
+/// multiplicative factors in [1/limit, limit]. Returns one factor per
+/// criterion (>1 = weight must grow, <1 = shrink, NaN = no flip within the
+/// limit). A large spread of non-flipping criteria means a robust
+/// recommendation.
+[[nodiscard]] std::vector<double> critical_weight_factors(
+    const stats::Matrix& scores, std::span<const double> weights,
+    double limit = 16.0);
+
+}  // namespace vdbench::mcda

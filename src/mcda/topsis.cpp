@@ -1,0 +1,64 @@
+#include "mcda/topsis.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vdbench::mcda {
+
+std::vector<double> topsis_closeness(const stats::Matrix& scores,
+                                     std::span<const double> weights,
+                                     std::span<const CriterionKind> kinds) {
+  const std::size_t alts = scores.rows();
+  const std::size_t crits = scores.cols();
+  if (weights.size() != crits || kinds.size() != crits)
+    throw std::invalid_argument(
+        "topsis_closeness: weights/kinds must match criterion count");
+  const std::vector<double> w = stats::normalize_to_sum_one(weights);
+
+  // Vector normalisation per criterion, then weight.
+  stats::Matrix v(alts, crits, 0.0);
+  for (std::size_t c = 0; c < crits; ++c) {
+    double norm = 0.0;
+    for (std::size_t a = 0; a < alts; ++a) norm += scores(a, c) * scores(a, c);
+    norm = std::sqrt(norm);
+    if (norm == 0.0)
+      throw std::invalid_argument(
+          "topsis_closeness: criterion with all-zero scores");
+    for (std::size_t a = 0; a < alts; ++a)
+      v(a, c) = w[c] * scores(a, c) / norm;
+  }
+
+  // Ideal and anti-ideal points.
+  std::vector<double> ideal(crits), anti(crits);
+  for (std::size_t c = 0; c < crits; ++c) {
+    double lo = v(0, c), hi = v(0, c);
+    for (std::size_t a = 1; a < alts; ++a) {
+      lo = std::min(lo, v(a, c));
+      hi = std::max(hi, v(a, c));
+    }
+    if (kinds[c] == CriterionKind::kBenefit) {
+      ideal[c] = hi;
+      anti[c] = lo;
+    } else {
+      ideal[c] = lo;
+      anti[c] = hi;
+    }
+  }
+
+  std::vector<double> closeness(alts, 0.0);
+  for (std::size_t a = 0; a < alts; ++a) {
+    double d_ideal = 0.0, d_anti = 0.0;
+    for (std::size_t c = 0; c < crits; ++c) {
+      d_ideal += (v(a, c) - ideal[c]) * (v(a, c) - ideal[c]);
+      d_anti += (v(a, c) - anti[c]) * (v(a, c) - anti[c]);
+    }
+    d_ideal = std::sqrt(d_ideal);
+    d_anti = std::sqrt(d_anti);
+    const double denom = d_ideal + d_anti;
+    // All alternatives identical on every criterion: neutral closeness.
+    closeness[a] = denom == 0.0 ? 0.5 : d_anti / denom;
+  }
+  return closeness;
+}
+
+}  // namespace vdbench::mcda

@@ -1,0 +1,31 @@
+// TOPSIS (Technique for Order of Preference by Similarity to Ideal
+// Solution) — an alternative MCDA method used in the E9 ablation to check
+// that the stage-3 validation does not hinge on the choice of AHP.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace vdbench::mcda {
+
+/// Whether larger criterion scores are preferable.
+enum class CriterionKind {
+  kBenefit,  ///< higher is better
+  kCost,     ///< lower is better
+};
+
+/// TOPSIS closeness coefficients, one per alternative, in [0, 1]
+/// (1 = coincides with the ideal solution).
+///
+/// `scores(a, c)` is alternative a's raw score on criterion c; the matrix
+/// is vector-normalised per criterion internally. `weights` are the
+/// criterion weights (normalised internally); `kinds` gives each
+/// criterion's direction. Throws on dimension mismatch, empty input, or a
+/// criterion whose scores are all zero (normalisation undefined).
+[[nodiscard]] std::vector<double> topsis_closeness(
+    const stats::Matrix& scores, std::span<const double> weights,
+    std::span<const CriterionKind> kinds);
+
+}  // namespace vdbench::mcda

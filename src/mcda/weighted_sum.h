@@ -1,0 +1,24 @@
+// Weighted-sum (WSM) and weighted-product (WPM) models — the simplest MCDA
+// baselines, used in the E9 method ablation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace vdbench::mcda {
+
+/// Weighted-sum scores: sum_c w_c * scores(a, c). Scores should already be
+/// normalised to comparable units (higher = better). Weights are
+/// normalised internally. Throws on dimension mismatch.
+[[nodiscard]] std::vector<double> weighted_sum_scores(
+    const stats::Matrix& scores, std::span<const double> weights);
+
+/// Weighted-product scores: prod_c scores(a, c)^w_c. All scores must be
+/// > 0 (WPM is undefined at zero); higher = better. Weights normalised
+/// internally. Throws on dimension mismatch or non-positive scores.
+[[nodiscard]] std::vector<double> weighted_product_scores(
+    const stats::Matrix& scores, std::span<const double> weights);
+
+}  // namespace vdbench::mcda

@@ -1,0 +1,186 @@
+#include "report/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vdbench::report {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) {
+    // Top-level value: allowed exactly once.
+    return;
+  }
+  Frame& top = stack_.back();
+  switch (top) {
+    case Frame::kObjectExpectingKey:
+      throw std::logic_error("JsonWriter: value where a key was expected");
+    case Frame::kObjectExpectingValue:
+      break;  // key already emitted the separator
+    case Frame::kArray:
+      if (needs_comma_) out_ << ',';
+      break;
+  }
+}
+
+void JsonWriter::after_value() {
+  if (stack_.empty()) {
+    done_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top == Frame::kObjectExpectingValue)
+    top = Frame::kObjectExpectingKey;
+  needs_comma_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Frame::kObjectExpectingKey);
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() == Frame::kArray)
+    throw std::logic_error("JsonWriter: end_object outside an object");
+  if (stack_.back() == Frame::kObjectExpectingValue)
+    throw std::logic_error("JsonWriter: dangling key");
+  stack_.pop_back();
+  out_ << '}';
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray)
+    throw std::logic_error("JsonWriter: end_array outside an array");
+  stack_.pop_back();
+  out_ << ']';
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (done_ || stack_.empty() ||
+      stack_.back() != Frame::kObjectExpectingKey)
+    throw std::logic_error("JsonWriter: key outside an object");
+  if (needs_comma_) out_ << ',';
+  out_ << '"' << json_escape(name) << "\":";
+  stack_.back() = Frame::kObjectExpectingValue;
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ << '"' << json_escape(text) << '"';
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) return null();
+  before_value();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", number);
+  out_ << buf;
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ << number;
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ << number;
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int number) {
+  return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name,
+                              const std::vector<double>& xs) {
+  key(name);
+  begin_array();
+  for (const double x : xs) value(x);
+  return end_array();
+}
+
+std::string JsonWriter::str() const {
+  if (!done_ || !stack_.empty())
+    throw std::logic_error("JsonWriter: document incomplete");
+  return out_.str();
+}
+
+}  // namespace vdbench::report

@@ -1,0 +1,74 @@
+// Minimal JSON writer for machine-readable experiment artifacts.
+//
+// vdbench emits its study results both as human-readable tables and as
+// JSON so downstream analysis (plots, regression tracking of the
+// experiments themselves) doesn't have to screen-scrape. The writer covers
+// exactly the JSON subset the library needs: objects, arrays, strings
+// (escaped), finite numbers, booleans and null; non-finite doubles are
+// emitted as null per RFC 8259's interoperability guidance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdbench::report {
+
+/// Streaming JSON writer with explicit begin/end structure calls.
+/// Misuse (value outside a container, key in an array, unbalanced end)
+/// throws std::logic_error.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value; only valid directly inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);  ///< also covers std::size_t
+  JsonWriter& value(int number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Convenience: key + array of doubles.
+  JsonWriter& field(std::string_view name, const std::vector<double>& xs);
+
+  /// Finish and return the document. Throws std::logic_error when any
+  /// container is still open or no value was written.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Frame { kObjectExpectingKey, kObjectExpectingValue, kArray };
+
+  void before_value();
+  void after_value();
+
+  std::ostringstream out_;
+  std::vector<Frame> stack_;
+  bool needs_comma_ = false;
+  bool done_ = false;
+};
+
+/// Escape a string for inclusion in a JSON document (without quotes).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace vdbench::report

@@ -1,0 +1,52 @@
+// Plain-text table rendering for experiment output. Every bench binary
+// prints its table/figure through this module so the regenerated artifacts
+// have a uniform, diffable format (and a CSV twin for downstream use).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vdbench::report {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: header row + data rows of strings.
+class Table {
+ public:
+  /// Create with column headers; alignment defaults to left for the first
+  /// column and right for the rest (typical label + numbers layout).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Override one column's alignment. Throws std::out_of_range.
+  void set_align(std::size_t column, Align align);
+
+  /// Append a row; must match the header width. Throws otherwise.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t columns() const noexcept {
+    return headers_.size();
+  }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with box-drawing separators.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180 quoting for commas/quotes/newlines).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision; NaN renders as "-",
+/// infinities as "inf"/"-inf".
+[[nodiscard]] std::string format_value(double v, int precision = 3);
+
+/// Format a double as a percentage ("12.3%"); NaN renders as "-".
+[[nodiscard]] std::string format_percent(double v, int precision = 1);
+
+}  // namespace vdbench::report

@@ -1,0 +1,94 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vdbench::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi))
+    throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0)
+    throw std::invalid_argument("Histogram: bins must be > 0");
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (!(value >= lo_)) {  // also catches NaN
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (value - lo_) / (hi_ - lo_);
+  const auto bin = static_cast<std::size_t>(
+      frac * static_cast<double>(counts_.size()));
+  counts_[std::min(bin, counts_.size() - 1)]++;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (const double v : values) add(v);
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  if (bin >= counts_.size())
+    throw std::out_of_range("Histogram::count: bad bin");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size())
+    throw std::out_of_range("Histogram::bin_lo: bad bin");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + static_cast<double>(bin) * width;
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin + 1 == counts_.size() ? hi_ : bin_lo(bin + 1);
+}
+
+double Histogram::density(std::size_t bin) const {
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(in_range);
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 0;
+  for (const std::uint64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char label[64];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::snprintf(label, sizeof label, "[%7.3f, %7.3f) %6llu |", bin_lo(b),
+                  bin_hi(b),
+                  static_cast<unsigned long long>(counts_[b]));
+    out += label;
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(std::llround(
+                        static_cast<double>(counts_[b]) /
+                        static_cast<double>(peak) *
+                        static_cast<double>(width)));
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ || overflow_) {
+    std::snprintf(label, sizeof label, "underflow %llu, overflow %llu\n",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += label;
+  }
+  return out;
+}
+
+}  // namespace vdbench::stats

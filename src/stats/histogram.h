@@ -1,0 +1,55 @@
+// Fixed-bin histogram over doubles, with the summary accessors the
+// experiment reports need (counts, densities, mode bin) and an ASCII
+// rendering hook consumed by report::.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vdbench::stats {
+
+/// Equal-width histogram over [lo, hi); values outside the range land in
+/// the underflow/overflow counters, never silently dropped.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument unless lo < hi and bins > 0.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  /// All observations, including under/overflow.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Left edge of a bin. Throws std::out_of_range.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  /// Right edge of a bin.
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Fraction of in-range observations in a bin (0 when empty).
+  [[nodiscard]] double density(std::size_t bin) const;
+  /// Index of the fullest bin (lowest index on ties).
+  [[nodiscard]] std::size_t mode_bin() const;
+
+  /// Simple multi-line ASCII rendering (one row per bin, '#' bars scaled
+  /// to `width` characters).
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vdbench::stats

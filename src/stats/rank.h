@@ -1,0 +1,44 @@
+// Ranking utilities and rank-correlation coefficients.
+//
+// The metric-selection study compares the *orderings* that different metrics
+// induce over a set of tools: two metrics "agree" on a scenario when they
+// rank tools the same way. Kendall's tau-b and Spearman's rho (both
+// tie-aware) are the agreement measures used throughout the experiments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vdbench::stats {
+
+/// Fractional ranks (1-based, ties receive the average of their positions).
+/// Larger value -> larger rank. E.g. {10, 20, 20} -> {1, 2.5, 2.5}.
+std::vector<double> average_ranks(std::span<const double> xs);
+
+/// Ordering of indices that sorts xs descending (best-first for
+/// higher-is-better scores). Stable: ties keep input order.
+std::vector<std::size_t> order_descending(std::span<const double> xs);
+
+/// Pearson product-moment correlation. Throws if sizes differ, n < 2, or
+/// either sample has zero variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman's rank correlation (tie-aware, via Pearson on average ranks).
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Kendall's tau-b rank correlation (tie-aware).
+/// Returns a value in [-1, 1]; 1 for identical orderings, -1 for reversed.
+/// Throws if sizes differ, n < 2, or either input is entirely tied.
+double kendall_tau(std::span<const double> xs, std::span<const double> ys);
+
+/// Fraction of shared items among the top-k of two score vectors
+/// (top-k overlap in [0, 1]). k must be in [1, n].
+double top_k_overlap(std::span<const double> xs, std::span<const double> ys,
+                     std::size_t k);
+
+/// True if the two score vectors pick the same single best item
+/// (ties broken by lowest index).
+bool same_top_choice(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace vdbench::stats

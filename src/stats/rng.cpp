@@ -1,0 +1,118 @@
+#include "stats/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vdbench::stats {
+
+namespace {
+
+// SplitMix64 finaliser; used to derive well-mixed child seeds.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::split(std::uint64_t tag) const {
+  return Rng(mix64(seed_ ^ mix64(tag + 0x5851F42D4C957F2DULL)));
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Rng::uniform: lo must be < hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo must be <= hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  return std::bernoulli_distribution(clamped)(engine_);
+}
+
+double Rng::normal(double mean, double sd) {
+  if (sd < 0.0) throw std::invalid_argument("Rng::normal: sd must be >= 0");
+  if (sd == 0.0) return mean;
+  return std::normal_distribution<double>(mean, sd)(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  if (sigma < 0.0) throw std::invalid_argument("Rng::lognormal: sigma >= 0");
+  if (sigma == 0.0) return std::exp(mu);
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("Rng::exponential: rate > 0");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  if (n == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  if (clamped == 0.0) return 0;
+  if (clamped == 1.0) return n;
+  return static_cast<std::uint64_t>(std::binomial_distribution<std::int64_t>(
+      static_cast<std::int64_t>(n), clamped)(engine_));
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean < 0.0) throw std::invalid_argument("Rng::poisson: mean >= 0");
+  if (mean == 0.0) return 0;
+  return static_cast<std::uint64_t>(
+      std::poisson_distribution<std::int64_t>(mean)(engine_));
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("Rng::categorical: empty weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0 || !std::isfinite(w))
+      throw std::invalid_argument("Rng::categorical: weights must be >= 0");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("Rng::categorical: all weights are zero");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical tail
+}
+
+std::size_t Rng::pick_index(std::size_t size) {
+  if (size == 0) throw std::invalid_argument("Rng::pick_index: empty range");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n)
+    throw std::invalid_argument("sample_without_replacement: k must be <= n");
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  // Partial Fisher-Yates: the first k slots end up a uniform k-subset.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + pick_index(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace vdbench::stats

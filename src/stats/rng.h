@@ -1,0 +1,89 @@
+// Deterministic random-number utilities for vdbench.
+//
+// Every stochastic component in the library takes an explicit Rng so that
+// workload generation, tool simulation and property assessment are exactly
+// reproducible given a seed. Rng also supports cheap splitting into
+// statistically independent child streams, which lets parallel or
+// order-independent experiment code stay deterministic.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace vdbench::stats {
+
+/// Deterministic pseudo-random generator (mersenne twister under the hood)
+/// with a convenience API used across the library.
+class Rng {
+ public:
+  /// Construct from a 64-bit seed. Identical seeds yield identical streams.
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Seed used to construct this generator.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Derive an independent child stream. Children with different tags are
+  /// independent of each other and of the parent's future output.
+  [[nodiscard]] Rng split(std::uint64_t tag) const;
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Normal draw with the given mean and standard deviation (sd >= 0).
+  double normal(double mean, double sd);
+
+  /// Log-normal draw: exp(Normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Exponential draw with the given rate (> 0).
+  double exponential(double rate);
+
+  /// Binomial draw: number of successes in n trials of probability p.
+  std::uint64_t binomial(std::uint64_t n, double p);
+
+  /// Poisson draw with the given mean (>= 0). Mean 0 returns 0.
+  std::uint64_t poisson(double mean);
+
+  /// Index into a non-empty discrete distribution given by non-negative
+  /// weights (not necessarily normalised). Throws if all weights are zero.
+  std::size_t categorical(std::span<const double> weights);
+
+  /// Uniformly pick an element index of a container of the given size (> 0).
+  std::size_t pick_index(std::size_t size);
+
+  /// Fisher-Yates shuffle of a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = pick_index(i + 1);
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) without replacement (k <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace vdbench::stats

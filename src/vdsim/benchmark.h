@@ -1,0 +1,74 @@
+// The capstone API: a complete, self-describing benchmark for
+// vulnerability detection tools.
+//
+// A BenchmarkDefinition pins everything a reader needs to interpret the
+// result — the workload protocol (corpus spec, repeated runs, cost model)
+// and the primary metric, which should come out of the scenario analysis
+// (core::Study / E7) rather than habit. Executing it yields a ranking on
+// the primary metric with confidence intervals and compact-letter
+// significance groups: tools sharing a letter are statistically
+// indistinguishable at the 0.05 level, so "A beats B" can only be claimed
+// across groups.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vdsim/suite.h"
+
+namespace vdbench::vdsim {
+
+/// Everything that defines a reproducible benchmark.
+struct BenchmarkDefinition {
+  std::string name;
+  /// The metric the ranking is based on (pick via core::Study).
+  core::MetricId primary_metric{};
+  /// Additional metrics reported but not ranked on.
+  std::vector<core::MetricId> secondary_metrics;
+  /// Workload, repetition and cost protocol.
+  SuiteConfig protocol;
+
+  /// Throws std::invalid_argument on an unnamed benchmark, a descriptive
+  /// primary metric, duplicate metrics or an invalid protocol.
+  void validate() const;
+};
+
+/// One tool's standing in the final ranking.
+struct RankedTool {
+  std::string name;
+  std::size_t rank = 0;        ///< 1-based position on the primary metric
+  double mean = 0.0;           ///< primary-metric mean over runs
+  double ci_lower = 0.0;
+  double ci_upper = 0.0;
+  /// Compact letter display: tools sharing any letter are not
+  /// significantly different (pairwise Welch, alpha = 0.05).
+  std::string group;
+};
+
+/// Executed benchmark: the raw campaign plus the interpreted ranking.
+struct BenchmarkReport {
+  BenchmarkDefinition definition;
+  SuiteResult suite;
+  std::vector<RankedTool> ranking;  ///< best first on the primary metric
+
+  /// Human-readable summary (name, protocol, ranking table with groups).
+  [[nodiscard]] std::string render() const;
+};
+
+/// Run the benchmark. Deterministic given the Rng seed. Throws on invalid
+/// definition or empty tool list.
+[[nodiscard]] BenchmarkReport execute_benchmark(
+    const BenchmarkDefinition& definition,
+    const std::vector<ToolProfile>& tools, stats::Rng& rng);
+
+/// Compact-letter grouping from a significance predicate over items sorted
+/// best-first: builds one letter per maximal run [i..j] whose endpoints are
+/// not significantly different, and gives every item the letters of all
+/// runs containing it. Exposed for testing. `significant(a, b)` must be
+/// symmetric.
+[[nodiscard]] std::vector<std::string> compact_letter_groups(
+    std::size_t count,
+    const std::function<bool(std::size_t, std::size_t)>& significant);
+
+}  // namespace vdbench::vdsim

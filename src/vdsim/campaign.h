@@ -1,0 +1,55 @@
+// Campaign helpers: reusable experiment plumbing over the simulator —
+// ranking tool populations by metrics, metric-agreement matrices and
+// prevalence sweeps. The bench binaries compose these into the paper's
+// tables and figures.
+#pragma once
+
+#include <vector>
+
+#include "core/metrics.h"
+#include "stats/matrix.h"
+#include "vdsim/runner.h"
+
+namespace vdbench::vdsim {
+
+/// Rank tool indices (best first) by one metric over benchmark results.
+/// Tools whose metric value is undefined sort last (stable among
+/// themselves). Throws std::invalid_argument on kNone-direction metrics.
+[[nodiscard]] std::vector<std::size_t> rank_tools_by_metric(
+    const std::vector<BenchmarkResult>& results, core::MetricId metric);
+
+/// Kendall tau-b agreement between the tool orderings induced by each
+/// pair of metrics, averaged over `populations` random tool populations.
+///
+/// For each population: sample `tools_per_population` random tools,
+/// benchmark them on a fresh workload from `spec`, compute each metric's
+/// utility per tool, and accumulate pairwise tau between metric score
+/// vectors. Pairs where either metric is undefined for some tool in a
+/// population skip that population (tracked in `valid_populations`).
+struct AgreementMatrix {
+  std::vector<core::MetricId> metrics;
+  stats::Matrix tau;  ///< metrics x metrics, diagonal 1
+  stats::Matrix valid_populations;  ///< populations contributing per pair
+};
+
+[[nodiscard]] AgreementMatrix metric_agreement(
+    const std::vector<core::MetricId>& metrics, const WorkloadSpec& spec,
+    std::size_t populations, std::size_t tools_per_population,
+    const CostModel& costs, stats::Rng& rng);
+
+/// One point of a prevalence sweep: the metric values of a fixed tool on
+/// workloads that differ only in prevalence.
+struct PrevalencePoint {
+  double prevalence = 0.0;
+  std::vector<double> metric_values;  ///< aligned with the metrics argument
+};
+
+/// Evaluate a fixed tool across a prevalence grid (fresh workload per
+/// point, same seed stream discipline). Used by figure E3.
+[[nodiscard]] std::vector<PrevalencePoint> prevalence_sweep(
+    const ToolProfile& tool, WorkloadSpec spec,
+    const std::vector<double>& prevalence_grid,
+    const std::vector<core::MetricId>& metrics, const CostModel& costs,
+    stats::Rng& rng);
+
+}  // namespace vdbench::vdsim

@@ -1,0 +1,73 @@
+#include "vdsim/combine.h"
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace vdbench::vdsim {
+
+ToolReport combine_reports(std::span<const ToolReport> reports,
+                           std::string combined_name) {
+  if (reports.empty())
+    throw std::invalid_argument("combine_reports: no reports");
+  ToolReport combined;
+  combined.tool_name = std::move(combined_name);
+  std::map<std::tuple<std::size_t, std::size_t, VulnClass>, double> best;
+  for (const ToolReport& report : reports) {
+    combined.analysis_seconds += report.analysis_seconds;
+    for (const Finding& f : report.findings) {
+      const auto key =
+          std::make_tuple(f.service_index, f.site_index, f.claimed_class);
+      const auto [it, inserted] = best.emplace(key, f.confidence);
+      if (!inserted && f.confidence > it->second)
+        it->second = f.confidence;
+    }
+  }
+  combined.findings.reserve(best.size());
+  for (const auto& [key, confidence] : best) {
+    Finding f;
+    f.service_index = std::get<0>(key);
+    f.site_index = std::get<1>(key);
+    f.claimed_class = std::get<2>(key);
+    f.confidence = confidence;
+    combined.findings.push_back(f);
+  }
+  return combined;
+}
+
+double Complementarity::marginal_gain() const noexcept {
+  return union_recall - std::max(recall_a, recall_b);
+}
+
+double Complementarity::correlation_deficit() const noexcept {
+  return independent_prediction - union_recall;
+}
+
+Complementarity analyze_complementarity(const ToolProfile& a,
+                                        const ToolProfile& b,
+                                        const Workload& workload,
+                                        const CostModel& costs,
+                                        stats::Rng& rng) {
+  stats::Rng rng_a = rng.split(1);
+  stats::Rng rng_b = rng.split(2);
+  const ToolReport report_a = run_tool(a, workload, rng_a);
+  const ToolReport report_b = run_tool(b, workload, rng_b);
+  const BenchmarkResult result_a = evaluate_report(report_a, workload, costs);
+  const BenchmarkResult result_b = evaluate_report(report_b, workload, costs);
+  const std::vector<ToolReport> both = {report_a, report_b};
+  const BenchmarkResult combined = evaluate_report(
+      combine_reports(both, a.name + "+" + b.name), workload, costs);
+
+  Complementarity out;
+  out.tool_a = a.name;
+  out.tool_b = b.name;
+  out.recall_a = result_a.context.cm.tpr();
+  out.recall_b = result_b.context.cm.tpr();
+  out.union_recall = combined.context.cm.tpr();
+  out.independent_prediction =
+      1.0 - (1.0 - out.recall_a) * (1.0 - out.recall_b);
+  out.union_fp = combined.context.cm.fp;
+  return out;
+}
+
+}  // namespace vdbench::vdsim

@@ -1,0 +1,51 @@
+// Tool combination: evaluate the union of several tools' reports as one
+// "virtual tool".
+//
+// Combining complementary tools is the standard mitigation for per-class
+// blind spots (E14) — but its payoff depends on whether tools miss
+// *independently* or all miss the same hard instances. The complementarity
+// analysis quantifies that: it compares the measured union recall with the
+// recall an independence assumption would predict.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "vdsim/runner.h"
+
+namespace vdbench::vdsim {
+
+/// Union of several reports as one report: findings deduplicated by
+/// (service, site, claimed class), keeping the highest confidence;
+/// analysis time is the sum (tools run sequentially). Throws
+/// std::invalid_argument on empty input.
+[[nodiscard]] ToolReport combine_reports(std::span<const ToolReport> reports,
+                                         std::string combined_name);
+
+/// Complementarity of a 2-tool combination.
+struct Complementarity {
+  std::string tool_a, tool_b;
+  double recall_a = 0.0;
+  double recall_b = 0.0;
+  double union_recall = 0.0;
+  /// Union recall predicted if the tools missed independently:
+  /// 1 - (1 - recall_a) * (1 - recall_b).
+  double independent_prediction = 0.0;
+  /// Combined false positives (deduplicated).
+  std::uint64_t union_fp = 0;
+
+  /// Gain of the combination over the better single tool.
+  [[nodiscard]] double marginal_gain() const noexcept;
+  /// Shortfall of the measured union vs the independence prediction
+  /// (positive = correlated misses).
+  [[nodiscard]] double correlation_deficit() const noexcept;
+};
+
+/// Run both tools on the workload, evaluate them individually and
+/// combined, and report the complementarity. Deterministic given the Rng
+/// seed.
+[[nodiscard]] Complementarity analyze_complementarity(
+    const ToolProfile& a, const ToolProfile& b, const Workload& workload,
+    const CostModel& costs, stats::Rng& rng);
+
+}  // namespace vdbench::vdsim

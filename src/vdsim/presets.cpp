@@ -1,0 +1,104 @@
+#include "vdsim/presets.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace vdbench::vdsim {
+
+namespace {
+
+constexpr std::array<WorkloadPreset, kWorkloadPresetCount> kPresets = {
+    WorkloadPreset::kWebServices, WorkloadPreset::kLegacyMonolith,
+    WorkloadPreset::kMicroservices, WorkloadPreset::kEmbeddedFirmware,
+    WorkloadPreset::kHardenedProduct,
+};
+
+}  // namespace
+
+std::span<const WorkloadPreset> all_workload_presets() { return kPresets; }
+
+std::string_view preset_key(WorkloadPreset preset) {
+  switch (preset) {
+    case WorkloadPreset::kWebServices:
+      return "web_services";
+    case WorkloadPreset::kLegacyMonolith:
+      return "legacy_monolith";
+    case WorkloadPreset::kMicroservices:
+      return "microservices";
+    case WorkloadPreset::kEmbeddedFirmware:
+      return "embedded_firmware";
+    case WorkloadPreset::kHardenedProduct:
+      return "hardened_product";
+  }
+  return "?";
+}
+
+std::string_view preset_description(WorkloadPreset preset) {
+  switch (preset) {
+    case WorkloadPreset::kWebServices:
+      return "internet-facing SOAP/REST services; injection flaws dominate";
+    case WorkloadPreset::kLegacyMonolith:
+      return "aging native monolith; memory-safety errors dominate";
+    case WorkloadPreset::kMicroservices:
+      return "many small modern services; mixed flaw classes, low prevalence";
+    case WorkloadPreset::kEmbeddedFirmware:
+      return "few large firmware images; memory/integer errors and weak crypto";
+    case WorkloadPreset::kHardenedProduct:
+      return "post-audit hardened product; vulnerabilities are rare";
+  }
+  return "?";
+}
+
+WorkloadSpec preset_spec(WorkloadPreset preset, std::size_t num_services) {
+  if (num_services == 0)
+    throw std::invalid_argument("preset_spec: num_services must be > 0");
+  WorkloadSpec spec;
+  spec.num_services = num_services;
+  // Class mix order: {sqli, xss, cmdi, path, bof, intof, uaf, crypto}.
+  switch (preset) {
+    case WorkloadPreset::kWebServices:
+      spec.kloc_log_mean = 1.0;
+      spec.kloc_log_sd = 0.6;
+      spec.prevalence = 0.10;
+      spec.class_mix = {0.32, 0.24, 0.12, 0.12, 0.06, 0.05, 0.04, 0.05};
+      break;
+    case WorkloadPreset::kLegacyMonolith:
+      spec.kloc_log_mean = 3.0;  // few, huge components
+      spec.kloc_log_sd = 0.4;
+      spec.prevalence = 0.15;
+      spec.class_mix = {0.06, 0.04, 0.08, 0.08, 0.34, 0.18, 0.18, 0.04};
+      break;
+    case WorkloadPreset::kMicroservices:
+      spec.kloc_log_mean = 0.2;  // small services
+      spec.kloc_log_sd = 0.5;
+      spec.prevalence = 0.04;
+      spec.class_mix = {0.20, 0.18, 0.14, 0.14, 0.10, 0.08, 0.06, 0.10};
+      break;
+    case WorkloadPreset::kEmbeddedFirmware:
+      spec.kloc_log_mean = 3.5;
+      spec.kloc_log_sd = 0.3;
+      spec.prevalence = 0.08;
+      spec.class_mix = {0.02, 0.01, 0.07, 0.05, 0.35, 0.22, 0.16, 0.12};
+      break;
+    case WorkloadPreset::kHardenedProduct:
+      spec.kloc_log_mean = 1.5;
+      spec.kloc_log_sd = 0.5;
+      spec.prevalence = 0.005;
+      spec.class_mix = {0.15, 0.10, 0.10, 0.10, 0.20, 0.15, 0.12, 0.08};
+      break;
+    default:
+      throw std::invalid_argument("preset_spec: unknown preset");
+  }
+  spec.validate();
+  return spec;
+}
+
+WorkloadPreset preset_from_key(std::string_view key) {
+  for (const WorkloadPreset p : kPresets)
+    if (preset_key(p) == key) return p;
+  throw std::invalid_argument("preset_from_key: unknown key: " +
+                              std::string(key));
+}
+
+}  // namespace vdbench::vdsim

@@ -1,0 +1,43 @@
+// Named workload presets: corpus archetypes with distinct size, prevalence
+// and vulnerability-class mixes, so experiments and users can say
+// "benchmark on a web-service corpus" instead of hand-tuning WorkloadSpec
+// fields. The mixes encode the domain folklore the paper's benchmarks come
+// from: internet-facing services are injection-heavy, native legacy code is
+// memory-error-heavy, and so on.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "vdsim/workload.h"
+
+namespace vdbench::vdsim {
+
+/// Available corpus archetypes.
+enum class WorkloadPreset : std::uint8_t {
+  kWebServices,     ///< SOAP/REST services; injection-dominated, ~10% prevalence
+  kLegacyMonolith,  ///< old native codebase; memory errors dominate, larger services
+  kMicroservices,   ///< many small services; mixed classes, low prevalence
+  kEmbeddedFirmware,///< few huge images; memory/integer errors, crypto misuse
+  kHardenedProduct, ///< post-audit code; very low prevalence everywhere
+};
+
+inline constexpr std::size_t kWorkloadPresetCount = 5;
+
+/// All presets in canonical order.
+[[nodiscard]] std::span<const WorkloadPreset> all_workload_presets();
+
+/// Stable key, e.g. "web_services".
+[[nodiscard]] std::string_view preset_key(WorkloadPreset preset);
+
+/// One-line description.
+[[nodiscard]] std::string_view preset_description(WorkloadPreset preset);
+
+/// The WorkloadSpec for a preset, scaled to `num_services`.
+[[nodiscard]] WorkloadSpec preset_spec(WorkloadPreset preset,
+                                       std::size_t num_services = 100);
+
+/// Look up a preset by key; throws std::invalid_argument when unknown.
+[[nodiscard]] WorkloadPreset preset_from_key(std::string_view key);
+
+}  // namespace vdbench::vdsim

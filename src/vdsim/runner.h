@@ -1,0 +1,85 @@
+// Benchmark runner: executes tool profiles over a workload, matches their
+// reports against the ground truth and produces full evaluation contexts
+// (confusion matrix + operational measurements + empirical AUC) ready for
+// the metric layer.
+//
+// Matching policy: a finding matches a seeded vulnerability when it points
+// at the same (service, site) and claims the correct class; each
+// vulnerability counts at most once (duplicate findings on a matched site
+// are dropped). A finding at a clean site — or at a vulnerable site with
+// the wrong class — is a false positive. True negatives are the clean
+// candidate sites that attracted no finding, making the TN frame explicit
+// (see core/confusion.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "vdsim/tool.h"
+#include "vdsim/workload.h"
+
+namespace vdbench::vdsim {
+
+/// Cost model a benchmark is evaluated under (mirrors core::Scenario).
+struct CostModel {
+  double cost_fn = 1.0;
+  double cost_fp = 1.0;
+};
+
+/// Detection outcome restricted to one vulnerability class. Only the
+/// positive-side counts are class-attributable (a clean site belongs to no
+/// class), so per-class analysis reports TP/FN plus the class recall; false
+/// alarms are attributed to the class the tool *claimed*.
+struct ClassOutcome {
+  VulnClass vuln_class{};
+  std::uint64_t tp = 0;           ///< class vulnerabilities found
+  std::uint64_t fn = 0;           ///< class vulnerabilities missed
+  std::uint64_t claimed_fp = 0;   ///< false alarms claiming this class
+
+  /// Class recall: TP / (TP + FN); NaN when the class is absent.
+  [[nodiscard]] double recall() const noexcept;
+};
+
+/// Outcome of one tool on one workload.
+struct BenchmarkResult {
+  std::string tool_name;
+  core::EvalContext context;       ///< confusion + costs + time + AUC
+  std::size_t matched_vulns = 0;   ///< distinct vulnerabilities found
+  std::size_t duplicate_findings = 0;  ///< findings dropped as duplicates
+  std::size_t misclassified_findings = 0;  ///< right site, wrong class
+  /// Per-class breakdown, indexed by vuln_class_index().
+  PerClass<ClassOutcome> by_class{};
+
+  /// Convenience: compute one metric on this result's context.
+  [[nodiscard]] double metric(core::MetricId id) const {
+    return core::compute_metric(id, context);
+  }
+
+  /// Macro-averaged recall over the classes present in the workload
+  /// (classes with zero seeded instances are skipped); NaN if none.
+  [[nodiscard]] double macro_class_recall() const noexcept;
+
+  /// The present class with the lowest recall (the tool's blind spot);
+  /// throws std::logic_error when the workload seeded no vulnerabilities.
+  [[nodiscard]] VulnClass weakest_class() const;
+};
+
+/// Match one report against the ground truth.
+[[nodiscard]] BenchmarkResult evaluate_report(const ToolReport& report,
+                                              const Workload& workload,
+                                              const CostModel& costs);
+
+/// Run one tool and evaluate it.
+[[nodiscard]] BenchmarkResult run_benchmark(const ToolProfile& tool,
+                                            const Workload& workload,
+                                            const CostModel& costs,
+                                            stats::Rng& rng);
+
+/// Run a set of tools on the same workload (each with an independent
+/// random substream; deterministic given the Rng seed).
+[[nodiscard]] std::vector<BenchmarkResult> run_benchmarks(
+    const std::vector<ToolProfile>& tools, const Workload& workload,
+    const CostModel& costs, stats::Rng& rng);
+
+}  // namespace vdbench::vdsim

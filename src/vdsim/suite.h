@@ -1,0 +1,81 @@
+// Repeated-benchmark protocol: the statistically sound way to compare
+// tools with a metric.
+//
+// A single benchmark run yields a point estimate; ranking tools on point
+// estimates ignores sampling noise (exactly the instability the stage-1
+// property assessment quantifies per metric). This module runs every tool
+// over R independently generated workloads and reports, per tool x metric,
+// the mean with a bootstrap confidence interval — plus pairwise
+// significance tests between tools, so a benchmark consumer can tell a
+// real difference from noise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/bootstrap.h"
+#include "stats/hypothesis.h"
+#include "vdsim/runner.h"
+
+namespace vdbench::vdsim {
+
+/// Configuration of a repeated-benchmark campaign.
+struct SuiteConfig {
+  WorkloadSpec workload;
+  CostModel costs;
+  std::size_t runs = 20;            ///< independent workloads
+  std::size_t bootstrap_replicates = 1000;
+  double confidence = 0.95;
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void validate() const;
+};
+
+/// Per-tool, per-metric outcome of a campaign.
+struct MetricEstimate {
+  core::MetricId metric{};
+  std::vector<double> values;          ///< defined per-run values
+  std::size_t undefined_runs = 0;
+  stats::ConfidenceInterval ci;        ///< of the mean (over defined runs)
+};
+
+/// All estimates for one tool.
+struct ToolEstimates {
+  std::string tool_name;
+  std::vector<MetricEstimate> metrics;  ///< aligned with campaign metric list
+
+  /// Estimate for one metric; throws std::invalid_argument when absent.
+  [[nodiscard]] const MetricEstimate& metric(core::MetricId id) const;
+};
+
+/// Pairwise comparison of two tools on one metric.
+struct PairwiseComparison {
+  std::string tool_a, tool_b;
+  core::MetricId metric{};
+  double mean_a = 0.0, mean_b = 0.0;
+  stats::TestResult welch;              ///< two-sided Welch t-test
+  double probability_superiority = 0.5; ///< P(run of A beats run of B)
+  /// True when the better mean is backed by p < 0.05.
+  [[nodiscard]] bool significant() const noexcept {
+    return welch.p_value < 0.05;
+  }
+};
+
+/// Outcome of a full campaign.
+struct SuiteResult {
+  SuiteConfig config;
+  std::vector<core::MetricId> metrics;
+  std::vector<ToolEstimates> tools;
+  std::vector<PairwiseComparison> comparisons;  ///< all tool pairs x metrics
+};
+
+/// Run the campaign: for each of config.runs, generate a fresh workload
+/// and benchmark every tool on it (paired design — all tools see the same
+/// workloads). Deterministic given the Rng seed. Throws on empty tools or
+/// metrics, or a descriptive (kNone-direction) metric in the list.
+[[nodiscard]] SuiteResult run_suite(const std::vector<ToolProfile>& tools,
+                                    const std::vector<core::MetricId>& metrics,
+                                    const SuiteConfig& config,
+                                    stats::Rng& rng);
+
+}  // namespace vdbench::vdsim

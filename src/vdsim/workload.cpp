@@ -1,0 +1,140 @@
+#include "vdsim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdbench::vdsim {
+
+void WorkloadSpec::validate() const {
+  if (num_services == 0)
+    throw std::invalid_argument("WorkloadSpec: num_services > 0");
+  if (kloc_log_sd < 0.0)
+    throw std::invalid_argument("WorkloadSpec: kloc_log_sd >= 0");
+  if (sites_per_kloc <= 0.0)
+    throw std::invalid_argument("WorkloadSpec: sites_per_kloc > 0");
+  if (prevalence < 0.0 || prevalence > 1.0)
+    throw std::invalid_argument("WorkloadSpec: prevalence in [0,1]");
+  double mix_sum = 0.0;
+  for (const double m : class_mix) {
+    if (m < 0.0) throw std::invalid_argument("WorkloadSpec: class mix >= 0");
+    mix_sum += m;
+  }
+  if (mix_sum <= 0.0)
+    throw std::invalid_argument("WorkloadSpec: class mix all zero");
+  double sev_sum = 0.0;
+  for (const double s : severity_mix) {
+    if (s < 0.0)
+      throw std::invalid_argument("WorkloadSpec: severity mix >= 0");
+    sev_sum += s;
+  }
+  if (sev_sum <= 0.0)
+    throw std::invalid_argument("WorkloadSpec: severity mix all zero");
+  if (difficulty_gamma < 0.0)
+    throw std::invalid_argument("WorkloadSpec: difficulty_gamma >= 0");
+}
+
+Workload::Workload(WorkloadSpec spec, std::vector<Service> services)
+    : spec_(std::move(spec)), services_(std::move(services)) {
+  spec_.validate();
+  site_to_vuln_.reserve(services_.size());
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    const Service& svc = services_[s];
+    if (svc.candidate_sites == 0)
+      throw std::invalid_argument("Workload: service without sites");
+    if (svc.vulns.size() > svc.candidate_sites)
+      throw std::invalid_argument("Workload: more vulns than sites");
+    std::vector<std::uint32_t> lookup(svc.candidate_sites, kNoVuln);
+    for (std::size_t v = 0; v < svc.vulns.size(); ++v) {
+      const VulnInstance& vuln = svc.vulns[v];
+      if (vuln.service_index != s)
+        throw std::invalid_argument("Workload: vuln service index mismatch");
+      if (vuln.site_index >= svc.candidate_sites)
+        throw std::invalid_argument("Workload: vuln site out of range");
+      if (lookup[vuln.site_index] != kNoVuln)
+        throw std::invalid_argument("Workload: two vulns share one site");
+      lookup[vuln.site_index] = static_cast<std::uint32_t>(v);
+    }
+    site_to_vuln_.push_back(std::move(lookup));
+    total_sites_ += svc.candidate_sites;
+    total_vulns_ += svc.vulns.size();
+    total_kloc_ += svc.kloc;
+  }
+}
+
+double Workload::realized_prevalence() const noexcept {
+  if (total_sites_ == 0) return 0.0;
+  return static_cast<double>(total_vulns_) /
+         static_cast<double>(total_sites_);
+}
+
+std::uint64_t Workload::vulns_of_class(VulnClass c) const noexcept {
+  std::uint64_t count = 0;
+  for (const Service& svc : services_)
+    for (const VulnInstance& v : svc.vulns)
+      if (v.vuln_class == c) ++count;
+  return count;
+}
+
+const VulnInstance* Workload::vuln_at(std::size_t service_index,
+                                      std::size_t site_index) const {
+  if (service_index >= services_.size())
+    throw std::out_of_range("Workload::vuln_at: bad service index");
+  const std::vector<std::uint32_t>& lookup = site_to_vuln_[service_index];
+  if (site_index >= lookup.size()) return nullptr;
+  const std::uint32_t v = lookup[site_index];
+  if (v == kNoVuln) return nullptr;
+  return &services_[service_index].vulns[v];
+}
+
+Workload generate_workload(const WorkloadSpec& spec, stats::Rng& rng) {
+  spec.validate();
+  std::vector<double> class_weights(spec.class_mix.begin(),
+                                    spec.class_mix.end());
+  std::vector<double> severity_weights(spec.severity_mix.begin(),
+                                       spec.severity_mix.end());
+  std::vector<Service> services;
+  services.reserve(spec.num_services);
+  std::uint64_t next_vuln_id = 1;
+  for (std::size_t s = 0; s < spec.num_services; ++s) {
+    Service svc;
+    svc.name = "service-" + std::to_string(s + 1);
+    svc.kloc = rng.lognormal(spec.kloc_log_mean, spec.kloc_log_sd);
+    svc.candidate_sites = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(svc.kloc * spec.sites_per_kloc)));
+    const auto vuln_count = static_cast<std::size_t>(
+        rng.binomial(svc.candidate_sites, spec.prevalence));
+    const std::vector<std::size_t> sites =
+        rng.sample_without_replacement(svc.candidate_sites, vuln_count);
+    svc.vulns.reserve(vuln_count);
+    for (const std::size_t site : sites) {
+      VulnInstance v;
+      v.id = next_vuln_id++;
+      v.service_index = s;
+      v.site_index = site;
+      v.vuln_class = all_vuln_classes()[rng.categorical(class_weights)];
+      v.severity = static_cast<Severity>(rng.categorical(severity_weights));
+      switch (spec.difficulty_shape) {
+        case DifficultyShape::kTriangular:
+          // Mean of two uniforms: mostly middling difficulty.
+          v.difficulty = (rng.uniform() + rng.uniform()) / 2.0;
+          break;
+        case DifficultyShape::kBimodal:
+          v.difficulty = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.15)
+                                            : rng.uniform(0.85, 1.0);
+          break;
+      }
+      svc.vulns.push_back(v);
+    }
+    // Keep vulns ordered by site for reproducible iteration.
+    std::sort(svc.vulns.begin(), svc.vulns.end(),
+              [](const VulnInstance& a, const VulnInstance& b) {
+                return a.site_index < b.site_index;
+              });
+    services.push_back(std::move(svc));
+  }
+  return Workload(spec, std::move(services));
+}
+
+}  // namespace vdbench::vdsim

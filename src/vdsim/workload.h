@@ -1,0 +1,129 @@
+// Synthetic benchmark workload: a corpus of web services with seeded
+// vulnerability instances and full ground truth.
+//
+// Substitution note (see DESIGN.md): the paper's underlying benchmarks use
+// real web-service code with manually established ground truth. The metric
+// study consumes only the *structure* of such a workload — how many
+// candidate analysis sites exist, which carry which class of vulnerability
+// at which severity — so a generated corpus with controllable size,
+// prevalence and class mix exercises the identical evaluation path while
+// enabling sweeps real code cannot provide.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/rng.h"
+#include "vdsim/vuln.h"
+
+namespace vdbench::vdsim {
+
+/// One seeded vulnerability instance (ground truth).
+struct VulnInstance {
+  std::uint64_t id = 0;          ///< unique within the workload
+  std::size_t service_index = 0; ///< owning service
+  std::size_t site_index = 0;    ///< candidate site within the service
+  VulnClass vuln_class{};
+  Severity severity{};
+  /// Intrinsic detection difficulty in [0,1] (0 = textbook pattern,
+  /// 1 = deeply obscured). Only affects tool behaviour when the workload's
+  /// difficulty_gamma is positive; see WorkloadSpec.
+  double difficulty = 0.0;
+};
+
+/// One generated web service.
+struct Service {
+  std::string name;
+  double kloc = 0.0;             ///< code size
+  std::size_t candidate_sites = 0;  ///< analysable sites (the TN frame)
+  std::vector<VulnInstance> vulns;  ///< seeded instances, by site
+};
+
+/// Shape of the per-instance difficulty distribution.
+enum class DifficultyShape : std::uint8_t {
+  /// Mean of two uniforms: mostly middling difficulty.
+  kTriangular,
+  /// Half textbook-easy (d in [0, 0.15]), half deeply obscured
+  /// (d in [0.85, 1]) — models corpora mixing seeded CVE patterns with
+  /// genuinely hard flaws.
+  kBimodal,
+};
+
+/// Workload generation parameters.
+struct WorkloadSpec {
+  std::size_t num_services = 100;
+  /// Lognormal code-size model, in kLoC.
+  double kloc_log_mean = 1.0;  ///< exp(1) ~ 2.7 kLoC typical service
+  double kloc_log_sd = 0.6;
+  /// Candidate analysis sites per kLoC.
+  double sites_per_kloc = 20.0;
+  /// Fraction of candidate sites carrying a seeded vulnerability.
+  double prevalence = 0.10;
+  /// Relative class mix (normalised internally; zero entries allowed).
+  PerClass<double> class_mix = {0.30, 0.20, 0.10, 0.10,
+                                0.10, 0.08, 0.07, 0.05};
+  /// Relative severity mix {low, medium, high, critical}.
+  std::array<double, kSeverityCount> severity_mix = {0.25, 0.40, 0.25, 0.10};
+  /// Strength of the shared-difficulty effect: a tool's detection
+  /// probability for an instance becomes
+  ///     sensitivity * (1 - difficulty)^gamma.
+  /// 0 (default) disables the effect — tools miss independently; larger
+  /// values make every tool miss the same hard instances, which is what
+  /// real benchmarks observe.
+  double difficulty_gamma = 0.0;
+  /// Distribution the per-instance difficulty is drawn from.
+  DifficultyShape difficulty_shape = DifficultyShape::kTriangular;
+
+  /// Throws std::invalid_argument when a field is out of range.
+  void validate() const;
+};
+
+/// A fully generated workload with ground truth.
+class Workload {
+ public:
+  Workload(WorkloadSpec spec, std::vector<Service> services);
+
+  [[nodiscard]] const WorkloadSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::vector<Service>& services() const noexcept {
+    return services_;
+  }
+
+  /// Total candidate sites across all services.
+  [[nodiscard]] std::uint64_t total_sites() const noexcept {
+    return total_sites_;
+  }
+  /// Total seeded vulnerabilities.
+  [[nodiscard]] std::uint64_t total_vulns() const noexcept {
+    return total_vulns_;
+  }
+  /// Total code size in kLoC.
+  [[nodiscard]] double total_kloc() const noexcept { return total_kloc_; }
+  /// Realised prevalence: total_vulns / total_sites.
+  [[nodiscard]] double realized_prevalence() const noexcept;
+  /// Seeded instances of one class across the workload.
+  [[nodiscard]] std::uint64_t vulns_of_class(VulnClass c) const noexcept;
+
+  /// Ground-truth query: the vulnerability at (service, site), or nullptr
+  /// when the site is clean. Throws std::out_of_range on a bad service
+  /// index; site indices beyond the service's range return nullptr.
+  [[nodiscard]] const VulnInstance* vuln_at(std::size_t service_index,
+                                            std::size_t site_index) const;
+
+ private:
+  WorkloadSpec spec_;
+  std::vector<Service> services_;
+  // Per-service site -> vuln lookup (index into service's vulns).
+  std::vector<std::vector<std::uint32_t>> site_to_vuln_;
+  std::uint64_t total_sites_ = 0;
+  std::uint64_t total_vulns_ = 0;
+  double total_kloc_ = 0.0;
+
+  static constexpr std::uint32_t kNoVuln = 0xFFFFFFFFu;
+};
+
+/// Generate a workload. Deterministic given the Rng seed.
+[[nodiscard]] Workload generate_workload(const WorkloadSpec& spec,
+                                         stats::Rng& rng);
+
+}  // namespace vdbench::vdsim

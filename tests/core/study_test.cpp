@@ -1,0 +1,114 @@
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+namespace vdbench::core {
+namespace {
+
+StudyConfig fast_study_config() {
+  StudyConfig cfg;
+  cfg.assessment.trials = 60;
+  cfg.assessment.asymptotic_items = 50'000;
+  cfg.analyzer.pair_trials = 250;
+  cfg.seed = 99;
+  return cfg;
+}
+
+class StudyFixture : public ::testing::Test {
+ protected:
+  static const Study& study() {
+    static const Study s = [] {
+      Study st(fast_study_config());
+      st.run();
+      return st;
+    }();
+    return s;
+  }
+};
+
+TEST_F(StudyFixture, CoversBuiltinScenariosByDefault) {
+  EXPECT_EQ(study().scenarios().size(), builtin_scenarios().size());
+  EXPECT_TRUE(study().has_run());
+}
+
+TEST_F(StudyFixture, AccessorsReturnConsistentShapes) {
+  EXPECT_EQ(study().assessments().size(), kMetricCount);
+  for (const Scenario& s : study().scenarios()) {
+    EXPECT_EQ(study().effectiveness(s.key).size(),
+              ranking_metrics().size());
+    EXPECT_EQ(study().recommendation(s.key).ranked.size(),
+              ranking_metrics().size());
+    EXPECT_EQ(study().validation(s.key).metrics.size(),
+              ranking_metrics().size());
+  }
+}
+
+TEST_F(StudyFixture, UnknownScenarioKeyThrows) {
+  EXPECT_THROW((void)study().recommendation("nope"), std::invalid_argument);
+  EXPECT_THROW((void)study().effectiveness("nope"), std::invalid_argument);
+  EXPECT_THROW((void)study().validation("nope"), std::invalid_argument);
+}
+
+TEST_F(StudyFixture, ValidatedVerdictMatchesPerScenarioOutcomes) {
+  bool all_agree = true;
+  for (const Scenario& s : study().scenarios()) {
+    const ValidationOutcome& v = study().validation(s.key);
+    all_agree = all_agree && v.same_top && v.ahp.acceptable();
+  }
+  EXPECT_EQ(study().validated(), all_agree);
+}
+
+TEST(StudyTest, ThrowsBeforeRun) {
+  const Study s(fast_study_config());
+  EXPECT_FALSE(s.has_run());
+  EXPECT_THROW((void)s.assessments(), std::logic_error);
+  EXPECT_THROW((void)s.validated(), std::logic_error);
+}
+
+TEST(StudyTest, DeterministicGivenSeed) {
+  Study a(fast_study_config());
+  Study b(fast_study_config());
+  a.run();
+  b.run();
+  for (const Scenario& s : a.scenarios()) {
+    EXPECT_EQ(a.recommendation(s.key).best().metric,
+              b.recommendation(s.key).best().metric);
+    EXPECT_DOUBLE_EQ(a.validation(s.key).kendall_agreement,
+                     b.validation(s.key).kendall_agreement);
+  }
+}
+
+TEST(StudyTest, DifferentSeedsMayDifferButStayWellFormed) {
+  StudyConfig cfg = fast_study_config();
+  cfg.seed = 100;
+  Study s(cfg);
+  s.run();
+  for (const Scenario& sc : s.scenarios()) {
+    for (const MetricRecommendation& r : s.recommendation(sc.key).ranked) {
+      EXPECT_GE(r.overall, 0.0);
+      EXPECT_LE(r.overall, 1.0);
+    }
+  }
+}
+
+TEST(StudyTest, CustomScenarioListIsHonored) {
+  StudyConfig cfg = fast_study_config();
+  cfg.scenarios = {builtin_scenario("s3_balanced")};
+  Study s(cfg);
+  s.run();
+  EXPECT_EQ(s.scenarios().size(), 1u);
+  EXPECT_NO_THROW((void)s.recommendation("s3_balanced"));
+  EXPECT_THROW((void)s.recommendation("s1_critical"), std::invalid_argument);
+}
+
+TEST(StudyTest, InvalidSubConfigRejectedAtConstruction) {
+  StudyConfig cfg = fast_study_config();
+  cfg.assessment.trials = 0;
+  EXPECT_THROW(Study{cfg}, std::invalid_argument);
+  cfg = fast_study_config();
+  cfg.analyzer.pair_trials = 0;
+  EXPECT_THROW(Study{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdbench::core

@@ -1,0 +1,85 @@
+#include "mcda/electre.h"
+
+#include <gtest/gtest.h>
+
+namespace vdbench::mcda {
+namespace {
+
+TEST(ElectreConfigTest, Validation) {
+  ElectreConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.concordance_threshold = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ElectreConfig{};
+  cfg.discordance_threshold = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ElectreTest, DominantAlternativeOutranksAll) {
+  const stats::Matrix scores = {{0.9, 0.9, 0.9},
+                                {0.5, 0.6, 0.4},
+                                {0.2, 0.1, 0.3}};
+  const std::vector<double> w = {1.0, 1.0, 1.0};
+  const ElectreResult r = electre_outranking(scores, w);
+  EXPECT_DOUBLE_EQ(r.outranks(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(r.outranks(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(r.outranks(1, 0), 0.0);
+  EXPECT_GT(r.net_score[0], r.net_score[1]);
+  EXPECT_GT(r.net_score[1], r.net_score[2]);
+}
+
+TEST(ElectreTest, ConcordanceIsWeightShare) {
+  // a beats b on criterion 0 (weight .7) and loses criterion 1 (.3).
+  const stats::Matrix scores = {{1.0, 0.0}, {0.0, 1.0}};
+  const std::vector<double> w = {0.7, 0.3};
+  const ElectreResult r = electre_outranking(scores, w);
+  EXPECT_DOUBLE_EQ(r.concordance(0, 1), 0.7);
+  EXPECT_DOUBLE_EQ(r.concordance(1, 0), 0.3);
+}
+
+TEST(ElectreTest, DiscordanceIsNormalizedVeto) {
+  const stats::Matrix scores = {{1.0, 0.5}, {0.0, 1.0}};
+  const std::vector<double> w = {0.5, 0.5};
+  const ElectreResult r = electre_outranking(scores, w);
+  // a loses criterion 1 by 0.5 of its range (which is 0.5) -> D = 1.0.
+  EXPECT_DOUBLE_EQ(r.discordance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(r.discordance(1, 0), 1.0);  // b loses criterion 0 fully
+}
+
+TEST(ElectreTest, VetoBlocksOutranking) {
+  // a wins 80% of the weight but loses one criterion catastrophically.
+  const stats::Matrix scores = {{1.0, 1.0, 1.0, 1.0, 0.0},
+                                {0.5, 0.5, 0.5, 0.5, 1.0}};
+  const std::vector<double> w = {0.2, 0.2, 0.2, 0.2, 0.2};
+  ElectreConfig cfg;
+  cfg.concordance_threshold = 0.7;
+  cfg.discordance_threshold = 0.3;
+  const ElectreResult r = electre_outranking(scores, w, cfg);
+  EXPECT_DOUBLE_EQ(r.concordance(0, 1), 0.8);
+  EXPECT_DOUBLE_EQ(r.outranks(0, 1), 0.0) << "veto on criterion 5";
+  // Relaxing the veto lets the outranking through.
+  cfg.discordance_threshold = 1.0;
+  const ElectreResult relaxed = electre_outranking(scores, w, cfg);
+  EXPECT_DOUBLE_EQ(relaxed.outranks(0, 1), 1.0);
+}
+
+TEST(ElectreTest, ConstantCriterionIsNeutral) {
+  const stats::Matrix scores = {{0.9, 0.5}, {0.1, 0.5}};
+  const std::vector<double> w = {0.5, 0.5};
+  const ElectreResult r = electre_outranking(scores, w);
+  // Ties count toward concordance on the constant criterion.
+  EXPECT_DOUBLE_EQ(r.concordance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(r.discordance(0, 1), 0.0);
+}
+
+TEST(ElectreTest, RejectsBadInput) {
+  const stats::Matrix one_alt = {{0.5, 0.5}};
+  const std::vector<double> w = {0.5, 0.5};
+  EXPECT_THROW(electre_outranking(one_alt, w), std::invalid_argument);
+  const stats::Matrix ok = {{0.5, 0.5}, {0.4, 0.6}};
+  const std::vector<double> short_w = {1.0};
+  EXPECT_THROW(electre_outranking(ok, short_w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdbench::mcda

@@ -1,0 +1,139 @@
+#include "mcda/expert.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vdbench::mcda {
+namespace {
+
+ExpertPersona consistent_persona() {
+  ExpertPersona p;
+  p.name = "oracle";
+  p.latent_weights = {0.5, 0.3, 0.2};
+  p.judgment_noise = 0.0;
+  return p;
+}
+
+TEST(ExpertPersonaTest, ValidationCatchesBadFields) {
+  ExpertPersona p = consistent_persona();
+  EXPECT_NO_THROW(p.validate());
+  p.latent_weights.clear();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = consistent_persona();
+  p.latent_weights[1] = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = consistent_persona();
+  p.judgment_noise = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ExpertPersonaTest, NoiselessExpertIsConsistent) {
+  stats::Rng rng(1);
+  const ComparisonMatrix cm = consistent_persona().judge(rng);
+  const AhpResult r = ahp_priorities(cm);
+  // Saaty snapping introduces at most mild inconsistency.
+  EXPECT_LT(r.consistency_ratio, 0.05);
+  // Weight order must be preserved.
+  EXPECT_GT(r.weights[0], r.weights[1]);
+  EXPECT_GT(r.weights[1], r.weights[2]);
+}
+
+TEST(ExpertPersonaTest, JudgmentsAreReciprocal) {
+  ExpertPersona p = consistent_persona();
+  p.judgment_noise = 0.5;
+  stats::Rng rng(2);
+  const ComparisonMatrix cm = p.judge(rng);
+  for (std::size_t i = 0; i < cm.size(); ++i)
+    for (std::size_t j = 0; j < cm.size(); ++j)
+      EXPECT_NEAR(cm(i, j) * cm(j, i), 1.0, 1e-9);
+}
+
+TEST(ExpertPersonaTest, NoiseChangesJudgments) {
+  ExpertPersona p = consistent_persona();
+  p.judgment_noise = 0.8;
+  stats::Rng r1(3), r2(4);
+  const ComparisonMatrix a = p.judge(r1);
+  const ComparisonMatrix b = p.judge(r2);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i)
+    for (std::size_t j = 0; j < a.size() && !differs; ++j)
+      if (a(i, j) != b(i, j)) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(ExpertPanelTest, RejectsDegeneratePanels) {
+  EXPECT_THROW(ExpertPanel{std::vector<ExpertPersona>{}},
+               std::invalid_argument);
+  ExpertPersona a = consistent_persona();
+  ExpertPersona b = consistent_persona();
+  b.latent_weights = {0.5, 0.5};
+  EXPECT_THROW(ExpertPanel({a, b}), std::invalid_argument);
+}
+
+TEST(ExpertPanelTest, AggregationPreservesReciprocity) {
+  stats::Rng rng(5);
+  const ExpertPanel panel = make_panel(std::vector<double>{0.4, 0.3, 0.2, 0.1},
+                                       5, 0.3, 0.3, rng);
+  stats::Rng jrng(6);
+  const ComparisonMatrix agg = panel.aggregate_judgments(jrng);
+  for (std::size_t i = 0; i < agg.size(); ++i)
+    for (std::size_t j = 0; j < agg.size(); ++j)
+      EXPECT_NEAR(agg(i, j) * agg(j, i), 1.0, 1e-9);
+}
+
+TEST(ExpertPanelTest, LowNoisePanelRecoversLatentWeights) {
+  const std::vector<double> latent = {0.45, 0.30, 0.15, 0.10};
+  stats::Rng rng(7);
+  const ExpertPanel panel = make_panel(latent, 9, 0.02, 0.02, rng);
+  stats::Rng jrng(8);
+  const AhpResult r = ahp_priorities(panel.aggregate_judgments(jrng));
+  for (std::size_t i = 0; i < latent.size(); ++i)
+    EXPECT_NEAR(r.weights[i], latent[i], 0.08) << i;
+  // Order definitely preserved.
+  EXPECT_GT(r.weights[0], r.weights[1]);
+  EXPECT_GT(r.weights[1], r.weights[2]);
+  EXPECT_GT(r.weights[2], r.weights[3]);
+}
+
+TEST(ExpertPanelTest, AggregationSmoothsIndividualInconsistency) {
+  const std::vector<double> latent = {0.4, 0.3, 0.2, 0.1};
+  stats::Rng rng(9);
+  const ExpertPanel panel = make_panel(latent, 11, 0.1, 0.5, rng);
+  stats::Rng jrng(10);
+  const std::vector<ComparisonMatrix> individuals =
+      panel.individual_judgments(jrng);
+  double mean_cr = 0.0;
+  for (const ComparisonMatrix& cm : individuals)
+    mean_cr += ahp_priorities(cm).consistency_ratio;
+  mean_cr /= static_cast<double>(individuals.size());
+  stats::Rng arng(10);
+  const double agg_cr =
+      ahp_priorities(panel.aggregate_judgments(arng)).consistency_ratio;
+  EXPECT_LT(agg_cr, mean_cr);
+}
+
+TEST(MakePanelTest, FloorsZeroWeights) {
+  const std::vector<double> latent = {0.9, 0.0, 0.1};
+  stats::Rng rng(11);
+  EXPECT_NO_THROW(make_panel(latent, 3, 0.1, 0.1, rng));
+}
+
+TEST(MakePanelTest, RejectsBadArguments) {
+  const std::vector<double> latent = {0.5, 0.5};
+  stats::Rng rng(12);
+  EXPECT_THROW(make_panel(latent, 0, 0.1, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(make_panel(latent, 3, -0.1, 0.1, rng), std::invalid_argument);
+}
+
+TEST(MakePanelTest, DeterministicGivenSeed) {
+  const std::vector<double> latent = {0.6, 0.4};
+  stats::Rng a(13), b(13);
+  const ExpertPanel pa = make_panel(latent, 4, 0.2, 0.2, a);
+  const ExpertPanel pb = make_panel(latent, 4, 0.2, 0.2, b);
+  for (std::size_t e = 0; e < 4; ++e)
+    EXPECT_EQ(pa.experts()[e].latent_weights, pb.experts()[e].latent_weights);
+}
+
+}  // namespace
+}  // namespace vdbench::mcda

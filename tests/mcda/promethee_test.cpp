@@ -1,0 +1,106 @@
+#include "mcda/promethee.h"
+
+#include <gtest/gtest.h>
+
+namespace vdbench::mcda {
+namespace {
+
+TEST(PrometheeConfigTest, Validation) {
+  PrometheeConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.indifference_fraction = 0.5;
+  cfg.preference_fraction = 0.3;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = PrometheeConfig{};
+  cfg.preference_fraction = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PrometheeTest, NetFlowsSumToZero) {
+  const stats::Matrix scores = {{0.9, 0.1, 0.5},
+                                {0.3, 0.8, 0.6},
+                                {0.5, 0.5, 0.2}};
+  const std::vector<double> w = {0.4, 0.4, 0.2};
+  const PrometheeResult r = promethee_flows(scores, w);
+  double sum = 0.0;
+  for (const double phi : r.net_flow) sum += phi;
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(PrometheeTest, DominantAlternativeHasTopNetFlow) {
+  const stats::Matrix scores = {{0.9, 0.9}, {0.5, 0.5}, {0.1, 0.1}};
+  const std::vector<double> w = {0.5, 0.5};
+  const PrometheeResult r = promethee_flows(scores, w);
+  EXPECT_GT(r.net_flow[0], r.net_flow[1]);
+  EXPECT_GT(r.net_flow[1], r.net_flow[2]);
+  EXPECT_GT(r.positive_flow[0], r.negative_flow[0]);
+  EXPECT_LT(r.positive_flow[2], r.negative_flow[2]);
+}
+
+TEST(PrometheeTest, IndifferenceZoneSuppressesSmallDifferences) {
+  PrometheeConfig cfg;
+  cfg.indifference_fraction = 0.5;  // huge indifference zone
+  cfg.preference_fraction = 0.9;
+  // Range is fixed by the {1.0, 0.0} anchors; the 0.2 gap between the top
+  // two alternatives is inside the indifference zone, so alternative 0
+  // gains nothing over alternative 1 and nothing flows against alt 1.
+  const stats::Matrix scores = {{1.0}, {0.8}, {0.0}};
+  const std::vector<double> w = {1.0};
+  const PrometheeResult r = promethee_flows(scores, w, cfg);
+  EXPECT_DOUBLE_EQ(r.negative_flow[1], 0.0);
+  // phi+(0) = (pi(0,1) + pi(0,2)) / 2 = (0 + 1) / 2.
+  EXPECT_DOUBLE_EQ(r.positive_flow[0], 0.5);
+  // phi+(1) = (0 + (0.8 - 0.5) / (0.9 - 0.5)) / 2 = 0.375.
+  EXPECT_NEAR(r.positive_flow[1], 0.375, 1e-12);
+  // Without the indifference zone the gap counts.
+  cfg.indifference_fraction = 0.0;
+  const PrometheeResult sharp = promethee_flows(scores, w, cfg);
+  EXPECT_GT(sharp.negative_flow[1], 0.0);
+}
+
+TEST(PrometheeTest, FullPreferenceBeyondThreshold) {
+  PrometheeConfig cfg;
+  cfg.indifference_fraction = 0.0;
+  cfg.preference_fraction = 0.5;
+  const stats::Matrix scores = {{1.0}, {0.0}};
+  const std::vector<double> w = {1.0};
+  const PrometheeResult r = promethee_flows(scores, w, cfg);
+  EXPECT_DOUBLE_EQ(r.positive_flow[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.negative_flow[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.net_flow[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.net_flow[1], -1.0);
+}
+
+TEST(PrometheeTest, LinearRampBetweenThresholds) {
+  PrometheeConfig cfg;
+  cfg.indifference_fraction = 0.0;
+  cfg.preference_fraction = 1.0;
+  // Three alternatives spanning the range; middle one is halfway.
+  const stats::Matrix scores = {{1.0}, {0.5}, {0.0}};
+  const std::vector<double> w = {1.0};
+  const PrometheeResult r = promethee_flows(scores, w, cfg);
+  // pi(0,1) = 0.5, pi(0,2) = 1.0 -> phi+(0) = 0.75.
+  EXPECT_NEAR(r.positive_flow[0], 0.75, 1e-12);
+}
+
+TEST(PrometheeTest, ConstantCriterionContributesNothing) {
+  const stats::Matrix scores = {{0.9, 0.5}, {0.1, 0.5}};
+  const std::vector<double> w = {0.5, 0.5};
+  const PrometheeResult r = promethee_flows(scores, w);
+  EXPECT_GT(r.net_flow[0], 0.0);
+  // Only criterion 0 differentiates; its weight share is 0.5 and the
+  // difference exceeds the preference threshold -> pi(0,1) = 0.5.
+  EXPECT_NEAR(r.positive_flow[0], 0.5, 1e-12);
+}
+
+TEST(PrometheeTest, RejectsBadInput) {
+  const stats::Matrix one = {{0.5}};
+  const std::vector<double> w = {1.0};
+  EXPECT_THROW(promethee_flows(one, w), std::invalid_argument);
+  const stats::Matrix ok = {{0.5, 0.6}, {0.4, 0.3}};
+  const std::vector<double> short_w = {1.0};
+  EXPECT_THROW(promethee_flows(ok, short_w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdbench::mcda

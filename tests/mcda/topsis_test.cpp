@@ -1,0 +1,79 @@
+#include "mcda/topsis.h"
+
+#include <gtest/gtest.h>
+
+namespace vdbench::mcda {
+namespace {
+
+TEST(TopsisTest, DominantAlternativeWins) {
+  const stats::Matrix scores = {{0.9, 0.9}, {0.5, 0.5}, {0.1, 0.1}};
+  const std::vector<double> w = {0.5, 0.5};
+  const std::vector<CriterionKind> kinds = {CriterionKind::kBenefit,
+                                            CriterionKind::kBenefit};
+  const std::vector<double> c = topsis_closeness(scores, w, kinds);
+  EXPECT_GT(c[0], c[1]);
+  EXPECT_GT(c[1], c[2]);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);  // coincides with ideal
+  EXPECT_DOUBLE_EQ(c[2], 0.0);  // coincides with anti-ideal
+}
+
+TEST(TopsisTest, ClosenessInUnitInterval) {
+  const stats::Matrix scores = {{0.3, 0.9, 0.2},
+                                {0.8, 0.1, 0.5},
+                                {0.6, 0.6, 0.6}};
+  const std::vector<double> w = {0.2, 0.5, 0.3};
+  const std::vector<CriterionKind> kinds(3, CriterionKind::kBenefit);
+  for (const double c : topsis_closeness(scores, w, kinds)) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(TopsisTest, CostCriterionInvertsPreference) {
+  const stats::Matrix scores = {{0.9}, {0.1}};
+  const std::vector<double> w = {1.0};
+  const std::vector<CriterionKind> benefit = {CriterionKind::kBenefit};
+  const std::vector<CriterionKind> cost = {CriterionKind::kCost};
+  EXPECT_GT(topsis_closeness(scores, w, benefit)[0],
+            topsis_closeness(scores, w, benefit)[1]);
+  EXPECT_LT(topsis_closeness(scores, w, cost)[0],
+            topsis_closeness(scores, w, cost)[1]);
+}
+
+TEST(TopsisTest, WeightShiftsWinner) {
+  // Alternative 0 wins criterion 0, alternative 1 wins criterion 1.
+  const stats::Matrix scores = {{0.9, 0.1}, {0.1, 0.9}};
+  const std::vector<CriterionKind> kinds(2, CriterionKind::kBenefit);
+  const std::vector<double> favor_first = {0.9, 0.1};
+  const std::vector<double> favor_second = {0.1, 0.9};
+  const auto c1 = topsis_closeness(scores, favor_first, kinds);
+  const auto c2 = topsis_closeness(scores, favor_second, kinds);
+  EXPECT_GT(c1[0], c1[1]);
+  EXPECT_LT(c2[0], c2[1]);
+}
+
+TEST(TopsisTest, IdenticalAlternativesGetNeutralCloseness) {
+  const stats::Matrix scores = {{0.5, 0.5}, {0.5, 0.5}};
+  const std::vector<double> w = {0.5, 0.5};
+  const std::vector<CriterionKind> kinds(2, CriterionKind::kBenefit);
+  const auto c = topsis_closeness(scores, w, kinds);
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+}
+
+TEST(TopsisTest, RejectsBadInput) {
+  const stats::Matrix scores = {{0.5, 0.5}};
+  const std::vector<double> short_w = {1.0};
+  const std::vector<CriterionKind> kinds(2, CriterionKind::kBenefit);
+  const std::vector<CriterionKind> short_kinds(1, CriterionKind::kBenefit);
+  const std::vector<double> w = {0.5, 0.5};
+  EXPECT_THROW(topsis_closeness(scores, short_w, kinds),
+               std::invalid_argument);
+  EXPECT_THROW(topsis_closeness(scores, w, short_kinds),
+               std::invalid_argument);
+  const stats::Matrix zero_col = {{0.0, 1.0}, {0.0, 0.5}};
+  EXPECT_THROW(topsis_closeness(zero_col, w, kinds), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdbench::mcda

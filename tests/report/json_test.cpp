@@ -1,0 +1,105 @@
+#include "report/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace vdbench::report {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, SimpleObject) {
+  JsonWriter w;
+  w.begin_object()
+      .field("name", "vdbench")
+      .field("metrics", std::uint64_t{32})
+      .field("valid", true)
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"name":"vdbench","metrics":32,"valid":true})");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("rows");
+  w.begin_array();
+  w.begin_object().field("x", 1).end_object();
+  w.begin_object().field("x", 2).end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"rows":[{"x":1},{"x":2}]})");
+}
+
+TEST(JsonWriterTest, DoubleArrayField) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("xs", std::vector<double>{0.5, 1.0});
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[0.5,1]})");
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::nan(""))
+      .value(std::numeric_limits<double>::infinity())
+      .value(1.5)
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, TopLevelScalarAllowedOnce) {
+  JsonWriter w;
+  w.value(42);
+  EXPECT_EQ(w.str(), "42");
+  EXPECT_THROW(w.value(43), std::logic_error);
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key in array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched end
+  }
+  {
+    JsonWriter w;
+    w.begin_object().key("dangling");
+    EXPECT_THROW(w.end_object(), std::logic_error);  // key without value
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), std::logic_error);  // incomplete document
+  }
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.str(), std::logic_error);  // empty document
+  }
+}
+
+TEST(JsonWriterTest, EscapedKeyAndValue) {
+  JsonWriter w;
+  w.begin_object().field("a\"b", "c\nd").end_object();
+  EXPECT_EQ(w.str(), "{\"a\\\"b\":\"c\\nd\"}");
+}
+
+}  // namespace
+}  // namespace vdbench::report

@@ -1,0 +1,82 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vdbench::stats {
+namespace {
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinsValuesCorrectly) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.3);   // bin 1
+  h.add(0.55);  // bin 2
+  h.add(0.99);  // bin 3
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_THROW(h.count(4), std::out_of_range);
+}
+
+TEST(HistogramTest, EdgesAndOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.0);    // inclusive lower edge -> bin 0
+  h.add(1.0);    // exclusive upper edge -> overflow
+  h.add(-0.01);  // underflow
+  h.add(std::nan(""));  // NaN counts as underflow, never dropped
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, BinEdgesCoverRangeExactly) {
+  Histogram h(-1.0, 3.0, 8);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(7), 3.0);
+  for (std::size_t b = 0; b + 1 < h.bins(); ++b)
+    EXPECT_DOUBLE_EQ(h.bin_hi(b), h.bin_lo(b + 1));
+}
+
+TEST(HistogramTest, DensitySumsToOneOverInRange) {
+  Histogram h(0.0, 1.0, 5);
+  const std::vector<double> xs = {0.05, 0.15, 0.25, 0.35, 0.95, 2.0};
+  h.add_all(xs);
+  double density = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) density += h.density(b);
+  EXPECT_NEAR(density, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, ModeBin) {
+  Histogram h(0.0, 1.0, 4);
+  h.add_all(std::vector<double>{0.3, 0.3, 0.35, 0.8});
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(HistogramTest, RenderShowsBarsAndOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add_all(std::vector<double>{0.1, 0.1, 0.7, 1.5});
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("overflow 1"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyRenderIsWellFormed) {
+  const Histogram h(0.0, 1.0, 3);
+  EXPECT_NO_THROW((void)h.render());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.density(0), 0.0);
+}
+
+}  // namespace
+}  // namespace vdbench::stats

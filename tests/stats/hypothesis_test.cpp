@@ -1,0 +1,189 @@
+#include "stats/hypothesis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace vdbench::stats {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, double mean, double sd,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = rng.normal(mean, sd);
+  return out;
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (const double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-8) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+}
+
+TEST(NormalQuantileTest, RejectsBoundary) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(WelchTest, DetectsClearDifference) {
+  const auto xs = normal_sample(100, 0.0, 1.0, 1);
+  const auto ys = normal_sample(100, 2.0, 1.0, 2);
+  const TestResult r = welch_t_test(xs, ys);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_TRUE(r.significant_at(0.05));
+  EXPECT_LT(r.statistic, 0.0);  // xs mean below ys mean
+}
+
+TEST(WelchTest, NoDifferenceGivesLargePValue) {
+  const auto xs = normal_sample(200, 1.0, 1.0, 3);
+  const auto ys = normal_sample(200, 1.0, 1.0, 4);
+  const TestResult r = welch_t_test(xs, ys);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(WelchTest, PValueInUnitInterval) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto xs = normal_sample(30, rng.uniform(), 1.0, 100 + trial);
+    const auto ys = normal_sample(40, rng.uniform(), 2.0, 200 + trial);
+    const TestResult r = welch_t_test(xs, ys);
+    EXPECT_GE(r.p_value, 0.0);
+    EXPECT_LE(r.p_value, 1.0);
+  }
+}
+
+TEST(WelchTest, IdenticalConstantSamples) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const TestResult r = welch_t_test(xs, xs);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(WelchTest, RequiresTwoPerSample) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW(welch_t_test(one, two), std::invalid_argument);
+}
+
+TEST(SignTest, DetectsConsistentShift) {
+  std::vector<double> xs(30), ys(30);
+  for (int i = 0; i < 30; ++i) {
+    xs[i] = i;
+    ys[i] = i - 1.0;
+  }
+  const TestResult r = sign_test(xs, ys);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(SignTest, BalancedSignsNotSignificant) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 1.0, 4.0, 3.0};
+  const TestResult r = sign_test(xs, ys);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(SignTest, DropsZeroDifferences) {
+  const std::vector<double> xs = {1.0, 5.0, 5.0, 5.0};
+  const std::vector<double> ys = {1.0, 4.0, 4.0, 4.0};
+  const TestResult r = sign_test(xs, ys);
+  EXPECT_DOUBLE_EQ(r.statistic, 3.0);  // three positive differences
+}
+
+TEST(SignTest, AllZeroDifferencesThrow) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(sign_test(xs, xs), std::invalid_argument);
+}
+
+TEST(CohensDTest, KnownEffectSize) {
+  const auto xs = normal_sample(5000, 1.0, 1.0, 6);
+  const auto ys = normal_sample(5000, 0.0, 1.0, 7);
+  EXPECT_NEAR(cohens_d(xs, ys), 1.0, 0.06);
+}
+
+TEST(CohensDTest, SignedDirection) {
+  const auto xs = normal_sample(500, 0.0, 1.0, 8);
+  const auto ys = normal_sample(500, 1.0, 1.0, 9);
+  EXPECT_LT(cohens_d(xs, ys), 0.0);
+}
+
+TEST(ProbabilityOfSuperiorityTest, SeparatedSamples) {
+  const std::vector<double> hi = {10.0, 11.0, 12.0};
+  const std::vector<double> lo = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(probability_of_superiority(hi, lo), 1.0);
+  EXPECT_DOUBLE_EQ(probability_of_superiority(lo, hi), 0.0);
+}
+
+TEST(ProbabilityOfSuperiorityTest, TiesCountHalf) {
+  const std::vector<double> xs = {1.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_DOUBLE_EQ(probability_of_superiority(xs, ys), 0.5);
+}
+
+TEST(WilsonIntervalTest, BracketsTheProportion) {
+  const ProportionInterval pi = wilson_interval(70.0, 100.0);
+  EXPECT_DOUBLE_EQ(pi.estimate, 0.7);
+  EXPECT_LT(pi.lower, 0.7);
+  EXPECT_GT(pi.upper, 0.7);
+  EXPECT_GT(pi.lower, 0.59);
+  EXPECT_LT(pi.upper, 0.79);
+}
+
+TEST(WilsonIntervalTest, WellBehavedAtExtremes) {
+  const ProportionInterval zero = wilson_interval(0.0, 50.0);
+  EXPECT_DOUBLE_EQ(zero.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(zero.lower, 0.0);
+  EXPECT_GT(zero.upper, 0.0);  // unlike the Wald interval
+  const ProportionInterval one = wilson_interval(50.0, 50.0);
+  EXPECT_DOUBLE_EQ(one.upper, 1.0);
+  EXPECT_LT(one.lower, 1.0);
+}
+
+TEST(WilsonIntervalTest, NarrowsWithMoreTrials) {
+  const double w_small =
+      wilson_interval(7.0, 10.0).upper - wilson_interval(7.0, 10.0).lower;
+  const double w_large = wilson_interval(700.0, 1000.0).upper -
+                         wilson_interval(700.0, 1000.0).lower;
+  EXPECT_LT(w_large, w_small);
+}
+
+TEST(WilsonIntervalTest, HigherConfidenceIsWider) {
+  const ProportionInterval p90 = wilson_interval(30.0, 100.0, 0.90);
+  const ProportionInterval p99 = wilson_interval(30.0, 100.0, 0.99);
+  EXPECT_GT(p99.upper - p99.lower, p90.upper - p90.lower);
+}
+
+TEST(WilsonIntervalTest, AcceptsFractionalSuccesses) {
+  EXPECT_NO_THROW(wilson_interval(12.5, 40.0));
+}
+
+TEST(WilsonIntervalTest, RejectsBadArguments) {
+  EXPECT_THROW(wilson_interval(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(11.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(5.0, 10.0, 1.0), std::invalid_argument);
+}
+
+TEST(ProbabilityOfSuperiorityTest, MatchesAucInterpretation) {
+  // For two unit-variance normals one d' apart, P(X>Y) = Phi(d'/sqrt(2)).
+  const auto xs = normal_sample(2000, 1.0, 1.0, 10);
+  const auto ys = normal_sample(2000, 0.0, 1.0, 11);
+  EXPECT_NEAR(probability_of_superiority(xs, ys),
+              normal_cdf(1.0 / std::sqrt(2.0)), 0.02);
+}
+
+}  // namespace
+}  // namespace vdbench::stats

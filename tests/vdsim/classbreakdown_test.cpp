@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vdsim/presets.h"
+#include "vdsim/runner.h"
+
+namespace vdbench::vdsim {
+namespace {
+
+Workload test_workload(std::uint64_t seed = 1) {
+  WorkloadSpec spec;
+  spec.num_services = 120;
+  spec.prevalence = 0.15;
+  stats::Rng rng(seed);
+  return generate_workload(spec, rng);
+}
+
+TEST(ClassBreakdownTest, CountsTieOutWithOverallConfusion) {
+  const Workload w = test_workload();
+  const ToolProfile t = builtin_tools().front();
+  stats::Rng rng(2);
+  const BenchmarkResult r = run_benchmark(t, w, CostModel{}, rng);
+  std::uint64_t tp = 0, fn = 0, claimed_fp = 0;
+  for (const ClassOutcome& c : r.by_class) {
+    tp += c.tp;
+    fn += c.fn;
+    claimed_fp += c.claimed_fp;
+  }
+  EXPECT_EQ(tp, r.context.cm.tp);
+  EXPECT_EQ(fn, r.context.cm.fn);
+  EXPECT_EQ(claimed_fp, r.context.cm.fp);
+}
+
+TEST(ClassBreakdownTest, PerClassTotalsMatchGroundTruth) {
+  const Workload w = test_workload(3);
+  const ToolProfile t = builtin_tools()[1];
+  stats::Rng rng(4);
+  const BenchmarkResult r = run_benchmark(t, w, CostModel{}, rng);
+  for (const VulnClass c : all_vuln_classes()) {
+    const ClassOutcome& outcome = r.by_class[vuln_class_index(c)];
+    EXPECT_EQ(outcome.vuln_class, c);
+    EXPECT_EQ(outcome.tp + outcome.fn, w.vulns_of_class(c));
+  }
+}
+
+TEST(ClassBreakdownTest, RecallReflectsPerClassSensitivity) {
+  // A tool blind to SQL injection but perfect on buffer overflows.
+  WorkloadSpec spec;
+  spec.num_services = 200;
+  spec.prevalence = 0.2;
+  spec.class_mix.fill(0.0);
+  spec.class_mix[vuln_class_index(VulnClass::kSqlInjection)] = 1.0;
+  spec.class_mix[vuln_class_index(VulnClass::kBufferOverflow)] = 1.0;
+  stats::Rng wrng(5);
+  const Workload w = generate_workload(spec, wrng);
+  ToolProfile t = make_archetype_profile(ToolArchetype::kFuzzer, 0.5, "blind");
+  t.sensitivity.fill(0.0);
+  t.sensitivity[vuln_class_index(VulnClass::kBufferOverflow)] = 1.0;
+  t.fallout = 0.0;
+  stats::Rng rng(6);
+  const BenchmarkResult r = run_benchmark(t, w, CostModel{}, rng);
+  EXPECT_DOUBLE_EQ(
+      r.by_class[vuln_class_index(VulnClass::kBufferOverflow)].recall(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      r.by_class[vuln_class_index(VulnClass::kSqlInjection)].recall(), 0.0);
+  EXPECT_EQ(r.weakest_class(), VulnClass::kSqlInjection);
+  // Macro recall averages the two present classes only.
+  EXPECT_NEAR(r.macro_class_recall(), 0.5, 1e-12);
+}
+
+TEST(ClassBreakdownTest, AbsentClassRecallIsNaN) {
+  WorkloadSpec spec;
+  spec.num_services = 50;
+  spec.prevalence = 0.1;
+  spec.class_mix.fill(0.0);
+  spec.class_mix[vuln_class_index(VulnClass::kXss)] = 1.0;
+  stats::Rng wrng(7);
+  const Workload w = generate_workload(spec, wrng);
+  stats::Rng rng(8);
+  const BenchmarkResult r =
+      run_benchmark(builtin_tools().front(), w, CostModel{}, rng);
+  EXPECT_TRUE(std::isnan(
+      r.by_class[vuln_class_index(VulnClass::kWeakCrypto)].recall()));
+}
+
+TEST(ClassBreakdownTest, WeakestClassThrowsOnCleanWorkload) {
+  WorkloadSpec spec;
+  spec.num_services = 20;
+  spec.prevalence = 0.0;
+  stats::Rng wrng(9);
+  const Workload w = generate_workload(spec, wrng);
+  stats::Rng rng(10);
+  const BenchmarkResult r =
+      run_benchmark(builtin_tools().front(), w, CostModel{}, rng);
+  EXPECT_THROW((void)r.weakest_class(), std::logic_error);
+  EXPECT_TRUE(std::isnan(r.macro_class_recall()));
+}
+
+TEST(ClassBreakdownTest, ArchetypeBlindSpotsShowUp) {
+  // On a memory-error-heavy corpus, a pen tester's weakest class should be
+  // a memory class, not an injection class.
+  const WorkloadSpec spec =
+      preset_spec(WorkloadPreset::kLegacyMonolith, 150);
+  stats::Rng wrng(11);
+  const Workload w = generate_workload(spec, wrng);
+  const ToolProfile pentester = make_archetype_profile(
+      ToolArchetype::kPenetrationTester, 0.8, "pt");
+  stats::Rng rng(12);
+  const BenchmarkResult r = run_benchmark(pentester, w, CostModel{}, rng);
+  const VulnClass weakest = r.weakest_class();
+  EXPECT_TRUE(weakest == VulnClass::kUseAfterFree ||
+              weakest == VulnClass::kIntegerOverflow ||
+              weakest == VulnClass::kBufferOverflow ||
+              weakest == VulnClass::kWeakCrypto)
+      << vuln_class_name(weakest);
+}
+
+}  // namespace
+}  // namespace vdbench::vdsim

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_roc.dir/e11_roc.cpp.o"
+  "CMakeFiles/bench_e11_roc.dir/e11_roc.cpp.o.d"
+  "bench_e11_roc"
+  "bench_e11_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

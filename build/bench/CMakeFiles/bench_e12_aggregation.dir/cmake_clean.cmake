@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_aggregation.dir/e12_aggregation.cpp.o"
+  "CMakeFiles/bench_e12_aggregation.dir/e12_aggregation.cpp.o.d"
+  "bench_e12_aggregation"
+  "bench_e12_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

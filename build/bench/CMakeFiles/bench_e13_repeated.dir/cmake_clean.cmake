@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_repeated.dir/e13_repeated.cpp.o"
+  "CMakeFiles/bench_e13_repeated.dir/e13_repeated.cpp.o.d"
+  "bench_e13_repeated"
+  "bench_e13_repeated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_repeated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_perclass.dir/e14_perclass.cpp.o"
+  "CMakeFiles/bench_e14_perclass.dir/e14_perclass.cpp.o.d"
+  "bench_e14_perclass"
+  "bench_e14_perclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_perclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

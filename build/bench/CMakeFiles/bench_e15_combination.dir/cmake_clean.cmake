@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_combination.dir/e15_combination.cpp.o"
+  "CMakeFiles/bench_e15_combination.dir/e15_combination.cpp.o.d"
+  "bench_e15_combination"
+  "bench_e15_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_power.dir/e16_power.cpp.o"
+  "CMakeFiles/bench_e16_power.dir/e16_power.cpp.o.d"
+  "bench_e16_power"
+  "bench_e16_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_catalogue.dir/e1_catalogue.cpp.o"
+  "CMakeFiles/bench_e1_catalogue.dir/e1_catalogue.cpp.o.d"
+  "bench_e1_catalogue"
+  "bench_e1_catalogue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_catalogue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_properties.dir/e2_properties.cpp.o"
+  "CMakeFiles/bench_e2_properties.dir/e2_properties.cpp.o.d"
+  "bench_e2_properties"
+  "bench_e2_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

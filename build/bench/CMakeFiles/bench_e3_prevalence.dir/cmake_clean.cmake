@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_prevalence.dir/e3_prevalence.cpp.o"
+  "CMakeFiles/bench_e3_prevalence.dir/e3_prevalence.cpp.o.d"
+  "bench_e3_prevalence"
+  "bench_e3_prevalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_discrimination.dir/e4_discrimination.cpp.o"
+  "CMakeFiles/bench_e4_discrimination.dir/e4_discrimination.cpp.o.d"
+  "bench_e4_discrimination"
+  "bench_e4_discrimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_discrimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

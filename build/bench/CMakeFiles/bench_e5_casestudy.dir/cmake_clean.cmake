@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_casestudy.dir/e5_casestudy.cpp.o"
+  "CMakeFiles/bench_e5_casestudy.dir/e5_casestudy.cpp.o.d"
+  "bench_e5_casestudy"
+  "bench_e5_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_agreement.dir/e6_agreement.cpp.o"
+  "CMakeFiles/bench_e6_agreement.dir/e6_agreement.cpp.o.d"
+  "bench_e6_agreement"
+  "bench_e6_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_scenarios.dir/e7_scenarios.cpp.o"
+  "CMakeFiles/bench_e7_scenarios.dir/e7_scenarios.cpp.o.d"
+  "bench_e7_scenarios"
+  "bench_e7_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_mcda.dir/e8_mcda.cpp.o"
+  "CMakeFiles/bench_e8_mcda.dir/e8_mcda.cpp.o.d"
+  "bench_e8_mcda"
+  "bench_e8_mcda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_mcda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

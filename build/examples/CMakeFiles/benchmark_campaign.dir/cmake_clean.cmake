@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_campaign.dir/benchmark_campaign.cpp.o"
+  "CMakeFiles/benchmark_campaign.dir/benchmark_campaign.cpp.o.d"
+  "benchmark_campaign"
+  "benchmark_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

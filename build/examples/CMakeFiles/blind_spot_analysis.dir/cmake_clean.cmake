@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blind_spot_analysis.dir/blind_spot_analysis.cpp.o"
+  "CMakeFiles/blind_spot_analysis.dir/blind_spot_analysis.cpp.o.d"
+  "blind_spot_analysis"
+  "blind_spot_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blind_spot_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_panel.dir/expert_panel.cpp.o"
+  "CMakeFiles/expert_panel.dir/expert_panel.cpp.o.d"
+  "expert_panel"
+  "expert_panel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

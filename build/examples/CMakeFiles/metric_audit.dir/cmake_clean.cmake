@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_audit.dir/metric_audit.cpp.o"
+  "CMakeFiles/metric_audit.dir/metric_audit.cpp.o.d"
+  "metric_audit"
+  "metric_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tool_selection.cpp" "examples/CMakeFiles/tool_selection.dir/tool_selection.cpp.o" "gcc" "examples/CMakeFiles/tool_selection.dir/tool_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/vdbench_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vdbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcda/CMakeFiles/vdbench_mcda.dir/DependInfo.cmake"
+  "/root/repo/build/src/vdsim/CMakeFiles/vdbench_vdsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vdbench_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

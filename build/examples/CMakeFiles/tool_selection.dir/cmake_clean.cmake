@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_selection.dir/tool_selection.cpp.o"
+  "CMakeFiles/tool_selection.dir/tool_selection.cpp.o.d"
+  "tool_selection"
+  "tool_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

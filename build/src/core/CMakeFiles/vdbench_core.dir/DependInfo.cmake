@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cpp" "src/core/CMakeFiles/vdbench_core.dir/aggregation.cpp.o" "gcc" "src/core/CMakeFiles/vdbench_core.dir/aggregation.cpp.o.d"
+  "/root/repo/src/core/confusion.cpp" "src/core/CMakeFiles/vdbench_core.dir/confusion.cpp.o" "gcc" "src/core/CMakeFiles/vdbench_core.dir/confusion.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/vdbench_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/vdbench_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/properties.cpp" "src/core/CMakeFiles/vdbench_core.dir/properties.cpp.o" "gcc" "src/core/CMakeFiles/vdbench_core.dir/properties.cpp.o.d"
+  "/root/repo/src/core/roc.cpp" "src/core/CMakeFiles/vdbench_core.dir/roc.cpp.o" "gcc" "src/core/CMakeFiles/vdbench_core.dir/roc.cpp.o.d"
+  "/root/repo/src/core/sampling.cpp" "src/core/CMakeFiles/vdbench_core.dir/sampling.cpp.o" "gcc" "src/core/CMakeFiles/vdbench_core.dir/sampling.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/vdbench_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/vdbench_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/vdbench_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/vdbench_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/vdbench_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/vdbench_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/vdbench_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/vdbench_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/vdbench_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcda/CMakeFiles/vdbench_mcda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbench_core.dir/aggregation.cpp.o"
+  "CMakeFiles/vdbench_core.dir/aggregation.cpp.o.d"
+  "CMakeFiles/vdbench_core.dir/confusion.cpp.o"
+  "CMakeFiles/vdbench_core.dir/confusion.cpp.o.d"
+  "CMakeFiles/vdbench_core.dir/metrics.cpp.o"
+  "CMakeFiles/vdbench_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/vdbench_core.dir/properties.cpp.o"
+  "CMakeFiles/vdbench_core.dir/properties.cpp.o.d"
+  "CMakeFiles/vdbench_core.dir/roc.cpp.o"
+  "CMakeFiles/vdbench_core.dir/roc.cpp.o.d"
+  "CMakeFiles/vdbench_core.dir/sampling.cpp.o"
+  "CMakeFiles/vdbench_core.dir/sampling.cpp.o.d"
+  "CMakeFiles/vdbench_core.dir/scenario.cpp.o"
+  "CMakeFiles/vdbench_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/vdbench_core.dir/selection.cpp.o"
+  "CMakeFiles/vdbench_core.dir/selection.cpp.o.d"
+  "CMakeFiles/vdbench_core.dir/study.cpp.o"
+  "CMakeFiles/vdbench_core.dir/study.cpp.o.d"
+  "CMakeFiles/vdbench_core.dir/validation.cpp.o"
+  "CMakeFiles/vdbench_core.dir/validation.cpp.o.d"
+  "libvdbench_core.a"
+  "libvdbench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvdbench_core.a"
+)

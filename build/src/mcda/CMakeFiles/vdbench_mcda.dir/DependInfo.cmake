@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcda/aggregate.cpp" "src/mcda/CMakeFiles/vdbench_mcda.dir/aggregate.cpp.o" "gcc" "src/mcda/CMakeFiles/vdbench_mcda.dir/aggregate.cpp.o.d"
+  "/root/repo/src/mcda/ahp.cpp" "src/mcda/CMakeFiles/vdbench_mcda.dir/ahp.cpp.o" "gcc" "src/mcda/CMakeFiles/vdbench_mcda.dir/ahp.cpp.o.d"
+  "/root/repo/src/mcda/electre.cpp" "src/mcda/CMakeFiles/vdbench_mcda.dir/electre.cpp.o" "gcc" "src/mcda/CMakeFiles/vdbench_mcda.dir/electre.cpp.o.d"
+  "/root/repo/src/mcda/expert.cpp" "src/mcda/CMakeFiles/vdbench_mcda.dir/expert.cpp.o" "gcc" "src/mcda/CMakeFiles/vdbench_mcda.dir/expert.cpp.o.d"
+  "/root/repo/src/mcda/promethee.cpp" "src/mcda/CMakeFiles/vdbench_mcda.dir/promethee.cpp.o" "gcc" "src/mcda/CMakeFiles/vdbench_mcda.dir/promethee.cpp.o.d"
+  "/root/repo/src/mcda/sensitivity.cpp" "src/mcda/CMakeFiles/vdbench_mcda.dir/sensitivity.cpp.o" "gcc" "src/mcda/CMakeFiles/vdbench_mcda.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/mcda/topsis.cpp" "src/mcda/CMakeFiles/vdbench_mcda.dir/topsis.cpp.o" "gcc" "src/mcda/CMakeFiles/vdbench_mcda.dir/topsis.cpp.o.d"
+  "/root/repo/src/mcda/weighted_sum.cpp" "src/mcda/CMakeFiles/vdbench_mcda.dir/weighted_sum.cpp.o" "gcc" "src/mcda/CMakeFiles/vdbench_mcda.dir/weighted_sum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/vdbench_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbench_mcda.dir/aggregate.cpp.o"
+  "CMakeFiles/vdbench_mcda.dir/aggregate.cpp.o.d"
+  "CMakeFiles/vdbench_mcda.dir/ahp.cpp.o"
+  "CMakeFiles/vdbench_mcda.dir/ahp.cpp.o.d"
+  "CMakeFiles/vdbench_mcda.dir/electre.cpp.o"
+  "CMakeFiles/vdbench_mcda.dir/electre.cpp.o.d"
+  "CMakeFiles/vdbench_mcda.dir/expert.cpp.o"
+  "CMakeFiles/vdbench_mcda.dir/expert.cpp.o.d"
+  "CMakeFiles/vdbench_mcda.dir/promethee.cpp.o"
+  "CMakeFiles/vdbench_mcda.dir/promethee.cpp.o.d"
+  "CMakeFiles/vdbench_mcda.dir/sensitivity.cpp.o"
+  "CMakeFiles/vdbench_mcda.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/vdbench_mcda.dir/topsis.cpp.o"
+  "CMakeFiles/vdbench_mcda.dir/topsis.cpp.o.d"
+  "CMakeFiles/vdbench_mcda.dir/weighted_sum.cpp.o"
+  "CMakeFiles/vdbench_mcda.dir/weighted_sum.cpp.o.d"
+  "libvdbench_mcda.a"
+  "libvdbench_mcda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbench_mcda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbench_report.dir/chart.cpp.o"
+  "CMakeFiles/vdbench_report.dir/chart.cpp.o.d"
+  "CMakeFiles/vdbench_report.dir/export.cpp.o"
+  "CMakeFiles/vdbench_report.dir/export.cpp.o.d"
+  "CMakeFiles/vdbench_report.dir/json.cpp.o"
+  "CMakeFiles/vdbench_report.dir/json.cpp.o.d"
+  "CMakeFiles/vdbench_report.dir/table.cpp.o"
+  "CMakeFiles/vdbench_report.dir/table.cpp.o.d"
+  "libvdbench_report.a"
+  "libvdbench_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbench_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

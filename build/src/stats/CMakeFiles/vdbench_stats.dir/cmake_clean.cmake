@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbench_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/vdbench_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/vdbench_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/vdbench_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/vdbench_stats.dir/histogram.cpp.o"
+  "CMakeFiles/vdbench_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/vdbench_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/vdbench_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/vdbench_stats.dir/matrix.cpp.o"
+  "CMakeFiles/vdbench_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/vdbench_stats.dir/rank.cpp.o"
+  "CMakeFiles/vdbench_stats.dir/rank.cpp.o.d"
+  "CMakeFiles/vdbench_stats.dir/rng.cpp.o"
+  "CMakeFiles/vdbench_stats.dir/rng.cpp.o.d"
+  "libvdbench_stats.a"
+  "libvdbench_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbench_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

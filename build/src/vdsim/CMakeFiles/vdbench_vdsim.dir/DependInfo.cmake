@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vdsim/benchmark.cpp" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/benchmark.cpp.o" "gcc" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/benchmark.cpp.o.d"
+  "/root/repo/src/vdsim/campaign.cpp" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/campaign.cpp.o" "gcc" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/campaign.cpp.o.d"
+  "/root/repo/src/vdsim/combine.cpp" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/combine.cpp.o" "gcc" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/combine.cpp.o.d"
+  "/root/repo/src/vdsim/presets.cpp" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/presets.cpp.o" "gcc" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/presets.cpp.o.d"
+  "/root/repo/src/vdsim/runner.cpp" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/runner.cpp.o" "gcc" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/runner.cpp.o.d"
+  "/root/repo/src/vdsim/suite.cpp" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/suite.cpp.o" "gcc" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/suite.cpp.o.d"
+  "/root/repo/src/vdsim/tool.cpp" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/tool.cpp.o" "gcc" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/tool.cpp.o.d"
+  "/root/repo/src/vdsim/vuln.cpp" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/vuln.cpp.o" "gcc" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/vuln.cpp.o.d"
+  "/root/repo/src/vdsim/workload.cpp" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/workload.cpp.o" "gcc" "src/vdsim/CMakeFiles/vdbench_vdsim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vdbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vdbench_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcda/CMakeFiles/vdbench_mcda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbench_vdsim.dir/benchmark.cpp.o"
+  "CMakeFiles/vdbench_vdsim.dir/benchmark.cpp.o.d"
+  "CMakeFiles/vdbench_vdsim.dir/campaign.cpp.o"
+  "CMakeFiles/vdbench_vdsim.dir/campaign.cpp.o.d"
+  "CMakeFiles/vdbench_vdsim.dir/combine.cpp.o"
+  "CMakeFiles/vdbench_vdsim.dir/combine.cpp.o.d"
+  "CMakeFiles/vdbench_vdsim.dir/presets.cpp.o"
+  "CMakeFiles/vdbench_vdsim.dir/presets.cpp.o.d"
+  "CMakeFiles/vdbench_vdsim.dir/runner.cpp.o"
+  "CMakeFiles/vdbench_vdsim.dir/runner.cpp.o.d"
+  "CMakeFiles/vdbench_vdsim.dir/suite.cpp.o"
+  "CMakeFiles/vdbench_vdsim.dir/suite.cpp.o.d"
+  "CMakeFiles/vdbench_vdsim.dir/tool.cpp.o"
+  "CMakeFiles/vdbench_vdsim.dir/tool.cpp.o.d"
+  "CMakeFiles/vdbench_vdsim.dir/vuln.cpp.o"
+  "CMakeFiles/vdbench_vdsim.dir/vuln.cpp.o.d"
+  "CMakeFiles/vdbench_vdsim.dir/workload.cpp.o"
+  "CMakeFiles/vdbench_vdsim.dir/workload.cpp.o.d"
+  "libvdbench_vdsim.a"
+  "libvdbench_vdsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbench_vdsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

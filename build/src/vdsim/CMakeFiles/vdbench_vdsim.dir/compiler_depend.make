@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vdbench_vdsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aggregation_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/core/aggregation_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/core/aggregation_test.cpp.o.d"
+  "/root/repo/tests/core/confusion_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/core/confusion_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/core/confusion_test.cpp.o.d"
+  "/root/repo/tests/core/metric_properties_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/core/metric_properties_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/core/metric_properties_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/properties_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/core/properties_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/core/properties_test.cpp.o.d"
+  "/root/repo/tests/core/roc_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/core/roc_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/core/roc_test.cpp.o.d"
+  "/root/repo/tests/core/sampling_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/core/sampling_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/core/sampling_test.cpp.o.d"
+  "/root/repo/tests/core/scenario_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/core/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/core/scenario_test.cpp.o.d"
+  "/root/repo/tests/core/selection_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/core/selection_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/core/selection_test.cpp.o.d"
+  "/root/repo/tests/core/study_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/core/study_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/core/study_test.cpp.o.d"
+  "/root/repo/tests/core/validation_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/core/validation_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/core/validation_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/mcda/aggregate_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/mcda/aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/mcda/aggregate_test.cpp.o.d"
+  "/root/repo/tests/mcda/ahp_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/mcda/ahp_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/mcda/ahp_test.cpp.o.d"
+  "/root/repo/tests/mcda/electre_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/mcda/electre_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/mcda/electre_test.cpp.o.d"
+  "/root/repo/tests/mcda/expert_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/mcda/expert_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/mcda/expert_test.cpp.o.d"
+  "/root/repo/tests/mcda/mcda_properties_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/mcda/mcda_properties_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/mcda/mcda_properties_test.cpp.o.d"
+  "/root/repo/tests/mcda/promethee_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/mcda/promethee_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/mcda/promethee_test.cpp.o.d"
+  "/root/repo/tests/mcda/sensitivity_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/mcda/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/mcda/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/mcda/topsis_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/mcda/topsis_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/mcda/topsis_test.cpp.o.d"
+  "/root/repo/tests/mcda/weighted_sum_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/mcda/weighted_sum_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/mcda/weighted_sum_test.cpp.o.d"
+  "/root/repo/tests/report/chart_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/report/chart_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/report/chart_test.cpp.o.d"
+  "/root/repo/tests/report/export_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/report/export_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/report/export_test.cpp.o.d"
+  "/root/repo/tests/report/json_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/report/json_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/report/json_test.cpp.o.d"
+  "/root/repo/tests/report/table_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/report/table_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/report/table_test.cpp.o.d"
+  "/root/repo/tests/stats/bootstrap_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/stats/bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/stats/bootstrap_test.cpp.o.d"
+  "/root/repo/tests/stats/descriptive_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/stats/descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/stats/descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/hypothesis_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/stats/hypothesis_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/stats/hypothesis_test.cpp.o.d"
+  "/root/repo/tests/stats/matrix_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/stats/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/stats/matrix_test.cpp.o.d"
+  "/root/repo/tests/stats/rank_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/stats/rank_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/stats/rank_test.cpp.o.d"
+  "/root/repo/tests/stats/rng_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/stats/rng_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/stats/rng_test.cpp.o.d"
+  "/root/repo/tests/vdsim/benchmark_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/vdsim/benchmark_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/vdsim/benchmark_test.cpp.o.d"
+  "/root/repo/tests/vdsim/campaign_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/vdsim/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/vdsim/campaign_test.cpp.o.d"
+  "/root/repo/tests/vdsim/classbreakdown_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/vdsim/classbreakdown_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/vdsim/classbreakdown_test.cpp.o.d"
+  "/root/repo/tests/vdsim/combine_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/vdsim/combine_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/vdsim/combine_test.cpp.o.d"
+  "/root/repo/tests/vdsim/presets_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/vdsim/presets_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/vdsim/presets_test.cpp.o.d"
+  "/root/repo/tests/vdsim/runner_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/vdsim/runner_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/vdsim/runner_test.cpp.o.d"
+  "/root/repo/tests/vdsim/suite_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/vdsim/suite_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/vdsim/suite_test.cpp.o.d"
+  "/root/repo/tests/vdsim/tool_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/vdsim/tool_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/vdsim/tool_test.cpp.o.d"
+  "/root/repo/tests/vdsim/workload_test.cpp" "tests/CMakeFiles/vdbench_tests.dir/vdsim/workload_test.cpp.o" "gcc" "tests/CMakeFiles/vdbench_tests.dir/vdsim/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/vdbench_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vdbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcda/CMakeFiles/vdbench_mcda.dir/DependInfo.cmake"
+  "/root/repo/build/src/vdsim/CMakeFiles/vdbench_vdsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/vdbench_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -31,7 +31,9 @@ int main() {
   report::LineChart chart("E11 figure: ROC curves", "FPR", "TPR");
   chart.set_y_range(0.0, 1.0);
 
+  stats::StageTimer timer;
   for (const vdsim::ToolProfile& tool : vdsim::builtin_tools()) {
+    const auto scope = timer.scope("ROC sweep");
     stats::Rng rng = stats::Rng(bench::kStudySeed + 11)
                          .split(std::hash<std::string>{}(tool.name));
     const core::RocCurve roc{vdsim::run_tool_scored(tool, workload, rng)};
@@ -60,5 +62,6 @@ int main() {
                "higher TPR/FPR than a cost-blind Youden choice would — the "
                "scenario cost model, not the curve alone, picks the "
                "threshold.\n";
+  bench::emit_stage_timings(timer, "e11_roc", std::cout);
   return 0;
 }

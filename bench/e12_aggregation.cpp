@@ -13,9 +13,11 @@
 int main() {
   using namespace vdbench;
 
+  stats::StageTimer timer;
   // A heterogeneous campaign: many small services, a few huge ones.
   std::vector<vdsim::Workload> workloads;
   for (int i = 0; i < 8; ++i) {
+    const auto scope = timer.scope("generate workloads");
     vdsim::WorkloadSpec spec;
     spec.num_services = 15;
     spec.prevalence = 0.12;
@@ -41,6 +43,7 @@ int main() {
         vdsim::make_archetype_profile(
             vdsim::ToolArchetype::kPenetrationTester, 0.65, "PT-Suite")}) {
     std::vector<core::EvalContext> contexts;
+    const auto scope = timer.scope("benchmark + aggregate");
     for (std::size_t i = 0; i < workloads.size(); ++i) {
       stats::Rng rng = stats::Rng(bench::kStudySeed + 13)
                            .split(std::hash<std::string>{}(tool.name))
@@ -70,5 +73,6 @@ int main() {
                "homogeneous and split apart here because the two giant "
                "workloads dominate the pooled counts; benchmark reports "
                "must state which aggregation they use.\n";
+  bench::emit_stage_timings(timer, "e12_aggregation", std::cout);
   return 0;
 }

@@ -29,9 +29,12 @@ int main() {
             << " independent workloads, " << cfg.workload.num_services
             << " services each\n\n";
 
+  stats::StageTimer timer;
   stats::Rng rng(bench::kStudySeed + 13);
-  const vdsim::SuiteResult suite =
-      run_suite(vdsim::builtin_tools(), metrics, cfg, rng);
+  const vdsim::SuiteResult suite = [&] {
+    const auto scope = timer.scope("suite campaign");
+    return run_suite(vdsim::builtin_tools(), metrics, cfg, rng);
+  }();
 
   report::Table estimates({"tool", "metric", "mean", "95% CI", "CI width",
                            "undef runs"});
@@ -72,9 +75,15 @@ int main() {
   // E13b: weight-sensitivity of the s1 recommendation.
   std::cout << "\nE13b (extension): weight sensitivity of the s1_critical "
                "metric recommendation\n\n";
-  const auto assessments = bench::run_stage1();
+  const auto assessments = [&] {
+    const auto scope = timer.scope("stage 1 assessment");
+    return bench::run_stage1();
+  }();
   const core::Scenario& scenario = core::builtin_scenario("s1_critical");
-  const auto effectiveness = bench::run_stage2(scenario);
+  const auto effectiveness = [&] {
+    const auto scope = timer.scope("stage 2: s1_critical");
+    return bench::run_stage2(scenario);
+  }();
 
   // Alternatives x criteria scores (same construction as the validator).
   std::vector<core::MetricId> alt_ids;
@@ -100,8 +109,10 @@ int main() {
   weights.push_back(0.8);  // scenario-fit criterion
 
   stats::Rng srng(bench::kStudySeed + 14);
-  const mcda::SensitivityResult sens =
-      mcda::weight_sensitivity(scores, weights, 0.35, 2000, srng);
+  const mcda::SensitivityResult sens = [&] {
+    const auto scope = timer.scope("weight sensitivity");
+    return mcda::weight_sensitivity(scores, weights, 0.35, 2000, srng);
+  }();
   std::cout << "baseline winner stability under 35% lognormal weight "
                "perturbation (2000 trials): "
             << report::format_percent(sens.top_choice_stability)
@@ -120,5 +131,6 @@ int main() {
                "scenario recommendation survives large weight "
                "perturbations (win share concentrated on the top metric "
                "family).\n";
+  bench::emit_stage_timings(timer, "e13_repeated", std::cout);
   return 0;
 }

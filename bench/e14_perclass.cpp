@@ -16,10 +16,12 @@ int main() {
   std::cout << "E14 (extension): per-class tool capability across corpus "
                "archetypes\n\n";
 
+  stats::StageTimer timer;
   // Summary over all presets: macro class recall + weakest class.
   report::Table summary({"preset", "tool", "recall", "macro class recall",
                          "weakest class"});
   for (const vdsim::WorkloadPreset preset : vdsim::all_workload_presets()) {
+    const auto scope = timer.scope("preset summary");
     const vdsim::WorkloadSpec spec = vdsim::preset_spec(preset, 200);
     stats::Rng wrng = stats::Rng(bench::kStudySeed + 14)
                           .split(static_cast<std::uint64_t>(preset));
@@ -43,6 +45,7 @@ int main() {
   for (const vdsim::WorkloadPreset preset :
        {vdsim::WorkloadPreset::kWebServices,
         vdsim::WorkloadPreset::kLegacyMonolith}) {
+    const auto scope = timer.scope("per-class detail");
     const vdsim::WorkloadSpec spec = vdsim::preset_spec(preset, 300);
     stats::Rng wrng = stats::Rng(bench::kStudySeed + 15)
                           .split(static_cast<std::uint64_t>(preset));
@@ -72,5 +75,6 @@ int main() {
                "invert that; the pen-tester's overall recall roughly halves "
                "from web_services to legacy_monolith while the fuzzer's "
                "rises — the workload archetype is part of the scenario.\n";
+  bench::emit_stage_timings(timer, "e14_perclass", std::cout);
   return 0;
 }

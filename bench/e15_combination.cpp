@@ -13,7 +13,10 @@
 int main() {
   using namespace vdbench;
 
+  stats::StageTimer timer;
   for (const double gamma : {0.0, 2.0}) {
+    const auto scope =
+        timer.scope("pair analysis gamma=" + report::format_value(gamma, 1));
     vdsim::WorkloadSpec spec =
         vdsim::preset_spec(vdsim::WorkloadPreset::kWebServices, 400);
     spec.difficulty_gamma = gamma;
@@ -68,5 +71,6 @@ int main() {
                "instances is invisible to all tools, capping what tool "
                "combination can deliver; cross-archetype pairs retain the "
                "largest marginal gains.\n";
+  bench::emit_stage_timings(timer, "e15_combination", std::cout);
   return 0;
 }

@@ -16,8 +16,12 @@ int main() {
             << " sites, base prevalence="
             << bench::full_assessment_config().base_prevalence << ")\n\n";
 
-  const std::vector<core::MetricAssessment> assessments =
-      bench::run_stage1();
+  stats::StageTimer timer;
+  std::vector<core::MetricAssessment> assessments;
+  {
+    const auto scope = timer.scope("stage 1 assessment");
+    assessments = bench::run_stage1();
+  }
 
   std::vector<std::string> headers = {"metric"};
   for (const core::Property p : core::all_properties())
@@ -45,5 +49,6 @@ int main() {
                "(precision, accuracy, MCC, kappa); 'definedness' penalises "
                "ratio metrics that blow up on small or degenerate "
                "benchmarks (likelihood ratios, DOR).\n";
+  bench::emit_stage_timings(timer, "e2_properties", std::cout);
   return 0;
 }

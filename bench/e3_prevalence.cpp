@@ -28,9 +28,14 @@ int main() {
             << "(tool: static analyzer, quality 0.7; "
             << spec.num_services << " services per point)\n\n";
 
+  stats::StageTimer timer;
   stats::Rng rng(bench::kStudySeed);
-  const auto points =
-      prevalence_sweep(tool, spec, grid, metrics, vdsim::CostModel{}, rng);
+  std::vector<vdsim::PrevalencePoint> points;
+  {
+    const auto scope = timer.scope("prevalence sweep");
+    points =
+        prevalence_sweep(tool, spec, grid, metrics, vdsim::CostModel{}, rng);
+  }
 
   std::vector<std::string> headers = {"prevalence"};
   for (const core::MetricId id : metrics)
@@ -64,5 +69,6 @@ int main() {
                "prevalence -> 0 regardless of detection power; precision "
                "and MCC collapse at low prevalence; recall and informedness "
                "are flat.\n";
+  bench::emit_stage_timings(timer, "e3_prevalence", std::cout);
   return 0;
 }

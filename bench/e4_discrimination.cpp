@@ -54,7 +54,10 @@ int main() {
   constexpr std::size_t kTrials = 1200;
   constexpr std::uint64_t kItems = 500;
 
+  vdbench::stats::StageTimer timer;
   for (const double prevalence : {0.10, 0.01}) {
+    const auto scope = timer.scope(
+        "grid prevalence=" + report::format_percent(prevalence));
     std::cout << "E4: P(correct tool ordering) vs quality gap, prevalence "
               << report::format_percent(prevalence) << " (" << kItems
               << "-site benchmarks, " << kTrials << " trials/point)\n\n";
@@ -102,5 +105,6 @@ int main() {
                "false-alarm dimension: on tools that trade detection power "
                "for quietness it orders by fallout alone (see E3/E7 for why "
                "that is misleading).\n";
+  vdbench::bench::emit_stage_timings(timer, "e4_discrimination", std::cout);
   return 0;
 }

@@ -10,11 +10,15 @@
 int main() {
   using namespace vdbench;
 
+  stats::StageTimer timer;
   vdsim::WorkloadSpec spec;
   spec.num_services = 400;
   spec.prevalence = 0.12;
   stats::Rng wrng(bench::kStudySeed);
-  const vdsim::Workload workload = generate_workload(spec, wrng);
+  const vdsim::Workload workload = [&] {
+    const auto scope = timer.scope("generate workload");
+    return generate_workload(spec, wrng);
+  }();
 
   std::cout << "E5: case study — " << vdsim::builtin_tools().size()
             << " simulated tools on a web-service corpus\n"
@@ -25,8 +29,11 @@ int main() {
             << " kLoC; cost model FN:FP = 10:1)\n\n";
 
   stats::Rng rng(bench::kStudySeed + 1);
-  const auto results = run_benchmarks(vdsim::builtin_tools(), workload,
-                                      vdsim::CostModel{10.0, 1.0}, rng);
+  const auto results = [&] {
+    const auto scope = timer.scope("benchmark tools");
+    return run_benchmarks(vdsim::builtin_tools(), workload,
+                          vdsim::CostModel{10.0, 1.0}, rng);
+  }();
 
   report::Table confusion({"tool", "TP", "FP", "FN", "TN", "dup", "time(s)"});
   for (const vdsim::BenchmarkResult& r : results) {
@@ -84,5 +91,6 @@ int main() {
                "metric; recall favours the noisy high-coverage analyzer, "
                "precision the conservative fuzzer, and the cost metric's "
                "winner depends on the 10:1 cost model.\n";
+  bench::emit_stage_timings(timer, "e5_casestudy", std::cout);
   return 0;
 }

@@ -30,10 +30,13 @@ int main() {
             << kPopulations << " random tool populations x "
             << kToolsPerPopulation << " tools, cost model FN:FP = 10:1)\n\n";
 
+  stats::StageTimer timer;
   stats::Rng rng(bench::kStudySeed);
-  const vdsim::AgreementMatrix agreement = metric_agreement(
-      metrics, spec, kPopulations, kToolsPerPopulation,
-      vdsim::CostModel{10.0, 1.0}, rng);
+  const vdsim::AgreementMatrix agreement = [&] {
+    const auto scope = timer.scope("agreement matrix");
+    return metric_agreement(metrics, spec, kPopulations, kToolsPerPopulation,
+                            vdsim::CostModel{10.0, 1.0}, rng);
+  }();
 
   std::vector<std::string> labels;
   for (const core::MetricId id : metrics)
@@ -62,5 +65,6 @@ int main() {
   std::cout << "\nShape check: the F1/MCC/markedness block agrees strongly; "
                "recall vs precision is the weakest pair; the cost-based "
                "metric sides with recall under the miss-heavy cost model.\n";
+  bench::emit_stage_timings(timer, "e6_agreement", std::cout);
   return 0;
 }

@@ -11,7 +11,11 @@
 int main() {
   using namespace vdbench;
 
-  const auto assessments = bench::run_stage1();
+  stats::StageTimer timer;
+  const auto assessments = [&] {
+    const auto scope = timer.scope("stage 1 assessment");
+    return bench::run_stage1();
+  }();
   const auto metrics = core::ranking_metrics();
   const core::MetricSelector selector;
 
@@ -24,7 +28,10 @@ int main() {
                          "best metric", "runner-up", "third"});
 
   for (const core::Scenario& scenario : core::builtin_scenarios()) {
-    const auto effectiveness = bench::run_stage2(scenario);
+    const auto effectiveness = [&] {
+      const auto scope = timer.scope("stage 2: " + scenario.key);
+      return bench::run_stage2(scenario);
+    }();
     const core::ScenarioRecommendation rec =
         selector.recommend(scenario, assessments, effectiveness);
 
@@ -72,5 +79,6 @@ int main() {
                "adequate in some scenarios only; imbalanced and "
                "cost-asymmetric scenarios require seldom-used alternatives "
                "(cost-based metrics, informedness/MCC family).\n";
+  bench::emit_stage_timings(timer, "e7_scenarios", std::cout);
   return 0;
 }

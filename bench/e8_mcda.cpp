@@ -11,7 +11,11 @@
 int main() {
   using namespace vdbench;
 
-  const auto assessments = bench::run_stage1();
+  stats::StageTimer timer;
+  const auto assessments = [&] {
+    const auto scope = timer.scope("stage 1 assessment");
+    return bench::run_stage1();
+  }();
   core::ValidationConfig vcfg;  // 7 experts, noise 0.15, spread 0.20
   const core::McdaValidator validator(vcfg);
 
@@ -25,7 +29,10 @@ int main() {
                          "Kendall tau", "top-3 overlap"});
 
   for (const core::Scenario& scenario : core::builtin_scenarios()) {
-    const auto effectiveness = bench::run_stage2(scenario);
+    const auto effectiveness = [&] {
+      const auto scope = timer.scope("stage 2 + validation");
+      return bench::run_stage2(scenario);
+    }();
     stats::Rng rng = stats::Rng(bench::kStudySeed + 8)
                          .split(std::hash<std::string>{}(scenario.key));
     const core::ValidationOutcome out =
@@ -68,5 +75,6 @@ int main() {
                "0.10 acceptance threshold, and the MCDA ranking agrees "
                "with the analytical selection (positive tau, shared top "
                "choices) — the paper's validation conclusion.\n";
+  bench::emit_stage_timings(timer, "e8_mcda", std::cout);
   return 0;
 }

@@ -16,9 +16,16 @@
 int main() {
   using namespace vdbench;
 
-  const auto assessments = bench::run_stage1();
+  stats::StageTimer timer;
+  const auto assessments = [&] {
+    const auto scope = timer.scope("stage 1 assessment");
+    return bench::run_stage1();
+  }();
   const core::Scenario& scenario = core::builtin_scenario("s1_critical");
-  const auto effectiveness = bench::run_stage2(scenario);
+  const auto effectiveness = [&] {
+    const auto scope = timer.scope("stage 2: s1_critical");
+    return bench::run_stage2(scenario);
+  }();
 
   // (a) noise sweep, averaged over repeated panels.
   std::cout << "E9a: expert-noise ablation on " << scenario.key
@@ -29,6 +36,7 @@ int main() {
        "same-top rate", "mean panel CR"});
   report::Series tau_series{"tau", {}, {}};
   for (const double noise : noises) {
+    const auto scope = timer.scope("noise sweep");
     double tau = 0.0, overlap = 0.0, same = 0.0, cr = 0.0;
     constexpr int kPanels = 10;
     for (int p = 0; p < kPanels; ++p) {
@@ -66,6 +74,7 @@ int main() {
                               "same top (AHP vs TOPSIS)"});
   const core::McdaValidator validator;  // default config
   for (const core::Scenario& sc : core::builtin_scenarios()) {
+    const auto scope = timer.scope("method ablation");
     const auto eff = bench::run_stage2(sc);
     stats::Rng rng = stats::Rng(bench::kStudySeed + 10)
                          .split(std::hash<std::string>{}(sc.key));
@@ -107,5 +116,6 @@ int main() {
                "alternatives nearly identically (the validation conclusion "
                "is method-robust); the cost-aware metrics stay on top "
                "across blend weights.\n";
+  bench::emit_stage_timings(timer, "e9_ablation", std::cout);
   return 0;
 }

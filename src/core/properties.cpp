@@ -6,6 +6,7 @@
 
 #include "core/sampling.h"
 #include "stats/descriptive.h"
+#include "stats/parallel.h"
 
 namespace vdbench::core {
 
@@ -42,6 +43,15 @@ double normalized_spread(MetricId id, std::span<const double> values) {
   double scale = 0.0;
   for (const double v : values) scale = std::max(scale, std::abs(v));
   return scale == 0.0 ? 0.0 : std::min(1.0, spread / scale);
+}
+
+// Derive one child Rng per task, serially and in index order, so a parallel
+// sweep consumes the parent stream identically for every thread count.
+std::vector<stats::Rng> split_children(stats::Rng& rng, std::size_t n) {
+  std::vector<stats::Rng> children;
+  children.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) children.push_back(rng.split(i));
+  return children;
 }
 
 }  // namespace
@@ -177,38 +187,40 @@ std::vector<MetricAssessment> PropertyAssessor::assess_all(
 double PropertyAssessor::assess_discrimination(MetricId id,
                                                stats::Rng& rng) const {
   if (metric_info(id).direction == Direction::kNone) return 0.0;
-  double total = 0.0;
-  std::size_t comparisons = 0;
-  for (const double gap : config_.quality_gaps) {
-    for (std::size_t t = 0; t < config_.trials; ++t) {
-      DetectorProfile worse;
-      worse.sensitivity = rng.uniform(0.40, 0.85);
-      worse.fallout = rng.uniform(0.02, 0.20);
-      DetectorProfile better = worse;
-      better.sensitivity = std::min(0.99, worse.sensitivity + gap);
-      better.fallout = std::max(0.001, worse.fallout * (1.0 - gap * 2.0));
-      const ConfusionMatrix cm_better = sample_confusion(
-          better, config_.base_prevalence, config_.benchmark_items, rng);
-      const ConfusionMatrix cm_worse = sample_confusion(
-          worse, config_.base_prevalence, config_.benchmark_items, rng);
-      const double u_better = metric_utility(
-          id, compute_metric(id, make_abstract_context(cm_better,
-                                                       config_.cost_fn,
-                                                       config_.cost_fp)));
-      const double u_worse = metric_utility(
-          id, compute_metric(id, make_abstract_context(cm_worse,
-                                                       config_.cost_fn,
-                                                       config_.cost_fp)));
-      ++comparisons;
-      if (!std::isfinite(u_better) || !std::isfinite(u_worse)) {
-        total += 0.5;  // metric gives no answer
-      } else if (u_better > u_worse) {
-        total += 1.0;
-      } else if (u_better == u_worse) {
-        total += 0.5;
-      }
+  const std::size_t comparisons = config_.quality_gaps.size() * config_.trials;
+  std::vector<stats::Rng> children = split_children(rng, comparisons);
+  std::vector<double> outcome(comparisons, 0.0);
+  stats::parallel_for_indexed(comparisons, [&](std::size_t k) {
+    stats::Rng& trial_rng = children[k];
+    const double gap = config_.quality_gaps[k / config_.trials];
+    DetectorProfile worse;
+    worse.sensitivity = trial_rng.uniform(0.40, 0.85);
+    worse.fallout = trial_rng.uniform(0.02, 0.20);
+    DetectorProfile better = worse;
+    better.sensitivity = std::min(0.99, worse.sensitivity + gap);
+    better.fallout = std::max(0.001, worse.fallout * (1.0 - gap * 2.0));
+    const ConfusionMatrix cm_better = sample_confusion(
+        better, config_.base_prevalence, config_.benchmark_items, trial_rng);
+    const ConfusionMatrix cm_worse = sample_confusion(
+        worse, config_.base_prevalence, config_.benchmark_items, trial_rng);
+    const double u_better = metric_utility(
+        id, compute_metric(id, make_abstract_context(cm_better,
+                                                     config_.cost_fn,
+                                                     config_.cost_fp)));
+    const double u_worse = metric_utility(
+        id, compute_metric(id, make_abstract_context(cm_worse,
+                                                     config_.cost_fn,
+                                                     config_.cost_fp)));
+    if (!std::isfinite(u_better) || !std::isfinite(u_worse)) {
+      outcome[k] = 0.5;  // metric gives no answer
+    } else if (u_better > u_worse) {
+      outcome[k] = 1.0;
+    } else if (u_better == u_worse) {
+      outcome[k] = 0.5;
     }
-  }
+  });
+  double total = 0.0;
+  for (const double o : outcome) total += o;  // fixed order: index 0..n-1
   return comparisons == 0 ? 0.0 : total / static_cast<double>(comparisons);
 }
 
@@ -290,15 +302,18 @@ double PropertyAssessor::assess_stability(MetricId id,
                                           stats::Rng& rng) const {
   if (metric_info(id).direction == Direction::kNone) return 0.0;
   const DetectorProfile d{0.70, 0.10};
+  std::vector<stats::Rng> children = split_children(rng, config_.trials);
+  std::vector<double> sampled(config_.trials);
+  stats::parallel_for_indexed(config_.trials, [&](std::size_t t) {
+    const ConfusionMatrix cm = sample_confusion(
+        d, config_.base_prevalence, config_.benchmark_items, children[t]);
+    sampled[t] = compute_metric(
+        id, make_abstract_context(cm, config_.cost_fn, config_.cost_fp));
+  });
   std::vector<double> values;
   values.reserve(config_.trials);
-  for (std::size_t t = 0; t < config_.trials; ++t) {
-    const ConfusionMatrix cm = sample_confusion(
-        d, config_.base_prevalence, config_.benchmark_items, rng);
-    const double v = compute_metric(
-        id, make_abstract_context(cm, config_.cost_fn, config_.cost_fp));
+  for (const double v : sampled)
     if (std::isfinite(v)) values.push_back(v);
-  }
   if (values.size() < 2) return 0.0;
   double nsd;
   if (metric_bounded(id)) {
@@ -314,18 +329,22 @@ double PropertyAssessor::assess_stability(MetricId id,
 double PropertyAssessor::assess_definedness(MetricId id,
                                             stats::Rng& rng) const {
   constexpr std::uint64_t kSmallBenchmark = 40;
-  std::size_t defined = 0;
-  for (std::size_t t = 0; t < config_.trials; ++t) {
+  std::vector<stats::Rng> children = split_children(rng, config_.trials);
+  std::vector<std::uint8_t> trial_defined(config_.trials, 0);
+  stats::parallel_for_indexed(config_.trials, [&](std::size_t t) {
+    stats::Rng& trial_rng = children[t];
     DetectorProfile d;
-    d.sensitivity = rng.uniform();
-    d.fallout = rng.uniform();
-    const double prev = rng.uniform(0.0, 0.5);
+    d.sensitivity = trial_rng.uniform();
+    d.fallout = trial_rng.uniform();
+    const double prev = trial_rng.uniform(0.0, 0.5);
     const ConfusionMatrix cm =
-        sample_confusion(d, prev, kSmallBenchmark, rng);
+        sample_confusion(d, prev, kSmallBenchmark, trial_rng);
     const double v = compute_metric(
         id, make_abstract_context(cm, config_.cost_fn, config_.cost_fp));
-    if (std::isfinite(v)) ++defined;
-  }
+    trial_defined[t] = std::isfinite(v) ? 1 : 0;
+  });
+  std::size_t defined = 0;
+  for (const std::uint8_t f : trial_defined) defined += f;
   return static_cast<double>(defined) / static_cast<double>(config_.trials);
 }
 

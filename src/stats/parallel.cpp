@@ -1,0 +1,193 @@
+#include "stats/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vdbench::stats {
+
+namespace {
+
+// Set while a thread is executing tasks of some parallel_for_indexed; nested
+// calls detect it and degrade to inline serial execution.
+thread_local bool tl_inside_task = false;
+
+}  // namespace
+
+struct ParallelExecutor::Impl {
+  std::size_t thread_count = 1;
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  bool stopping = false;
+
+  // State of the job currently being executed (guarded by mutex except for
+  // next_index, which tasks claim lock-free).
+  std::uint64_t generation = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next_index{0};
+  std::size_t workers_active = 0;
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+
+  // Claim and run tasks until the index range is exhausted. Every task runs
+  // even after a failure so the propagated (lowest-index) exception does not
+  // depend on scheduling.
+  void drain() {
+    tl_inside_task = true;
+    for (std::size_t i = next_index.fetch_add(1); i < n;
+         i = next_index.fetch_add(1)) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+    tl_inside_task = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] {
+          return stopping || generation != seen_generation;
+        });
+        if (stopping) return;
+        seen_generation = generation;
+      }
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--workers_active == 0) work_done.notify_all();
+      }
+    }
+  }
+};
+
+ParallelExecutor::ParallelExecutor(std::size_t threads)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->thread_count = threads == 0 ? default_thread_count() : threads;
+  const std::size_t worker_count = impl_->thread_count - 1;
+  impl_->workers.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i)
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+std::size_t ParallelExecutor::thread_count() const noexcept {
+  return impl_->thread_count;
+}
+
+void ParallelExecutor::parallel_for_indexed(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  // Serial fallback: single-thread pool, tiny range, or a nested call from
+  // inside a task (the fixed pool must not wait on itself). Runs the exact
+  // same claim loop so behaviour — including which exception propagates —
+  // matches the parallel path.
+  if (impl_->thread_count == 1 || n == 1 || tl_inside_task) {
+    std::exception_ptr first_error;
+    std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+    const bool was_inside = tl_inside_task;
+    tl_inside_task = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+    tl_inside_task = was_inside;
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->fn = &fn;
+    impl_->n = n;
+    impl_->next_index.store(0);
+    impl_->first_error = nullptr;
+    impl_->first_error_index = std::numeric_limits<std::size_t>::max();
+    impl_->workers_active = impl_->workers.size();
+    ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+
+  impl_->drain();  // the calling thread participates
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->work_done.wait(lock, [&] { return impl_->workers_active == 0; });
+    impl_->fn = nullptr;
+  }
+  if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+}
+
+std::size_t ParallelExecutor::default_thread_count() {
+  if (const char* env = std::getenv("VDBENCH_THREADS")) {
+    try {
+      const long parsed = std::stol(env);
+      if (parsed >= 1) return static_cast<std::size_t>(parsed);
+    } catch (const std::exception&) {
+      // Fall through to hardware detection on a malformed value.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+namespace {
+
+std::mutex g_global_mutex;
+std::unique_ptr<ParallelExecutor> g_global_executor;
+
+}  // namespace
+
+ParallelExecutor& global_executor() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_executor)
+    g_global_executor = std::make_unique<ParallelExecutor>();
+  return *g_global_executor;
+}
+
+void set_global_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_executor = std::make_unique<ParallelExecutor>(threads);
+}
+
+void parallel_for_indexed(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  global_executor().parallel_for_indexed(n, fn);
+}
+
+}  // namespace vdbench::stats

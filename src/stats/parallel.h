@@ -1,0 +1,72 @@
+// Deterministic parallel execution engine for vdbench's Monte Carlo loops.
+//
+// Every hot loop in the library (property-assessment trial sweeps, agreement
+// populations, repeated-benchmark runs, power-analysis campaigns) is a fan-out
+// over an index range where task i derives its own child Rng up front (via
+// Rng::split, on the calling thread, in index order) and writes its result
+// into slot i of a pre-sized output vector. Under that discipline the output
+// is bit-identical to a serial execution and invariant to the worker count —
+// the executor only changes *when* task i runs, never what it computes or
+// where it writes.
+//
+// The process-wide pool is created once on first use; its size comes from the
+// VDBENCH_THREADS environment variable when set (>= 1), otherwise from
+// std::thread::hardware_concurrency(). Nested parallel_for_indexed calls
+// (a task that itself fans out) run inline on the worker thread, so nesting
+// cannot deadlock the fixed pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace vdbench::stats {
+
+/// Fixed-size thread pool with an indexed fork-join primitive.
+class ParallelExecutor {
+ public:
+  /// Create a pool that runs up to `threads` tasks concurrently (the calling
+  /// thread participates, so `threads` == 1 means no worker threads at all).
+  /// `threads` == 0 picks default_thread_count().
+  explicit ParallelExecutor(std::size_t threads = 0);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// Concurrency of this pool (worker threads + the calling thread).
+  [[nodiscard]] std::size_t thread_count() const noexcept;
+
+  /// Run fn(0) .. fn(n-1), blocking until every task finished. Tasks may run
+  /// in any order and on any thread; determinism is the caller's contract
+  /// (pre-split Rngs, write only to slot i). Every task runs even when one
+  /// throws; the exception with the lowest task index is rethrown afterwards,
+  /// so the error surfaced is itself independent of the thread count.
+  /// n == 0 is a no-op. Calls from inside a task run inline (serially).
+  void parallel_for_indexed(std::size_t n,
+                            const std::function<void(std::size_t)>& fn);
+
+  /// Pool size chosen when none is given explicitly: VDBENCH_THREADS when the
+  /// environment variable holds an integer >= 1, else hardware concurrency,
+  /// with a floor of 1.
+  [[nodiscard]] static std::size_t default_thread_count();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Process-wide executor, created once on first use with
+/// ParallelExecutor::default_thread_count() threads.
+[[nodiscard]] ParallelExecutor& global_executor();
+
+/// Replace the process-wide pool with one of the given size (0 = re-read the
+/// default). Intended for tests that verify thread-count invariance; must not
+/// race with concurrent parallel_for_indexed calls.
+void set_global_threads(std::size_t threads);
+
+/// Convenience: parallel_for_indexed on the process-wide executor.
+void parallel_for_indexed(std::size_t n,
+                          const std::function<void(std::size_t)>& fn);
+
+}  // namespace vdbench::stats

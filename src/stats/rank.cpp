@@ -13,6 +13,17 @@ namespace vdbench::stats {
 
 namespace {
 
+// NaN (and ±inf with raw </> comparators) breaks the strict weak ordering
+// std::stable_sort requires and poisons every pairwise comparison, so all
+// ranking entry points reject non-finite input up front instead of
+// returning an unspecified ordering.
+void require_finite(std::span<const double> xs, const char* who) {
+  for (const double x : xs)
+    if (!std::isfinite(x))
+      throw std::invalid_argument(std::string(who) +
+                                  ": input must be finite (no NaN/inf)");
+}
+
 void require_paired(std::span<const double> xs, std::span<const double> ys,
                     const char* who) {
   if (xs.size() != ys.size())
@@ -20,11 +31,14 @@ void require_paired(std::span<const double> xs, std::span<const double> ys,
   if (xs.size() < 2)
     throw std::invalid_argument(std::string(who) +
                                 ": need at least two pairs");
+  require_finite(xs, who);
+  require_finite(ys, who);
 }
 
 }  // namespace
 
 std::vector<double> average_ranks(std::span<const double> xs) {
+  require_finite(xs, "average_ranks");
   const std::size_t n = xs.size();
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -45,6 +59,7 @@ std::vector<double> average_ranks(std::span<const double> xs) {
 }
 
 std::vector<std::size_t> order_descending(std::span<const double> xs) {
+  require_finite(xs, "order_descending");
   std::vector<std::size_t> order(xs.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(),

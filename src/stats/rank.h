@@ -14,26 +14,32 @@ namespace vdbench::stats {
 
 /// Fractional ranks (1-based, ties receive the average of their positions).
 /// Larger value -> larger rank. E.g. {10, 20, 20} -> {1, 2.5, 2.5}.
+/// Throws std::invalid_argument on non-finite input (NaN/±inf would break
+/// the strict weak ordering the tie-grouping sort relies on).
 std::vector<double> average_ranks(std::span<const double> xs);
 
 /// Ordering of indices that sorts xs descending (best-first for
 /// higher-is-better scores). Stable: ties keep input order.
+/// Throws std::invalid_argument on non-finite input.
 std::vector<std::size_t> order_descending(std::span<const double> xs);
 
-/// Pearson product-moment correlation. Throws if sizes differ, n < 2, or
-/// either sample has zero variance.
+/// Pearson product-moment correlation. Throws if sizes differ, n < 2,
+/// any value is non-finite, or either sample has zero variance.
 double pearson(std::span<const double> xs, std::span<const double> ys);
 
 /// Spearman's rank correlation (tie-aware, via Pearson on average ranks).
+/// Throws if sizes differ, n < 2, or any value is non-finite.
 double spearman(std::span<const double> xs, std::span<const double> ys);
 
 /// Kendall's tau-b rank correlation (tie-aware).
 /// Returns a value in [-1, 1]; 1 for identical orderings, -1 for reversed.
-/// Throws if sizes differ, n < 2, or either input is entirely tied.
+/// Throws if sizes differ, n < 2, any value is non-finite, or either input
+/// is entirely tied.
 double kendall_tau(std::span<const double> xs, std::span<const double> ys);
 
 /// Fraction of shared items among the top-k of two score vectors
-/// (top-k overlap in [0, 1]). k must be in [1, n].
+/// (top-k overlap in [0, 1]). k must be in [1, n]; all values must be
+/// finite (throws std::invalid_argument otherwise).
 double top_k_overlap(std::span<const double> xs, std::span<const double> ys,
                      std::size_t k);
 

@@ -18,8 +18,16 @@ std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
-Rng Rng::split(std::uint64_t tag) const {
-  return Rng(mix64(seed_ ^ mix64(tag + 0x5851F42D4C957F2DULL)));
+Rng Rng::split(std::uint64_t tag) {
+  // Fold the per-parent call counter into the derived seed so repeated
+  // splits with an identical tag still yield distinct, well-separated child
+  // streams (the pre-counter behaviour silently reused streams and forced
+  // call sites into ad-hoc additive tag offsets to dodge collisions).
+  const std::uint64_t call = split_count_++;
+  std::uint64_t h = seed_;
+  h = mix64(h ^ mix64(tag + 0x5851F42D4C957F2DULL));
+  h = mix64(h ^ mix64(call + 0x2545F4914F6CDD1DULL));
+  return Rng(h);
 }
 
 double Rng::uniform() {
@@ -59,19 +67,39 @@ double Rng::exponential(double rate) {
 }
 
 std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  // Bernoulli-sum sampler instead of std::binomial_distribution: the
+  // libstdc++ setup path calls lgamma(), which writes the global signgam
+  // (MT-unsafe) — a data race when workers sample concurrently. The sum is
+  // exact, standard-library independent, and O(n) — no worse than the
+  // callers, which already do per-site work proportional to n.
   if (n == 0) return 0;
   const double clamped = std::clamp(p, 0.0, 1.0);
   if (clamped == 0.0) return 0;
   if (clamped == 1.0) return n;
-  return static_cast<std::uint64_t>(std::binomial_distribution<std::int64_t>(
-      static_cast<std::int64_t>(n), clamped)(engine_));
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (uniform() < clamped) ++hits;
+  return hits;
 }
 
 std::uint64_t Rng::poisson(double mean) {
+  // Chunked Knuth sampler (sum of independent Poissons is Poisson), again
+  // avoiding the std:: distribution's MT-unsafe lgamma() path. Chunks of
+  // mean <= 16 keep exp(-chunk) comfortably away from underflow.
   if (mean < 0.0) throw std::invalid_argument("Rng::poisson: mean >= 0");
-  if (mean == 0.0) return 0;
-  return static_cast<std::uint64_t>(
-      std::poisson_distribution<std::int64_t>(mean)(engine_));
+  std::uint64_t total = 0;
+  double remaining = mean;
+  while (remaining > 0.0) {
+    const double chunk = std::min(remaining, 16.0);
+    remaining -= chunk;
+    const double limit = std::exp(-chunk);
+    double product = uniform();
+    while (product >= limit) {
+      ++total;
+      product *= uniform();
+    }
+  }
+  return total;
 }
 
 std::size_t Rng::categorical(std::span<const double> weights) {

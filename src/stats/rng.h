@@ -25,9 +25,20 @@ class Rng {
   /// Seed used to construct this generator.
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
-  /// Derive an independent child stream. Children with different tags are
-  /// independent of each other and of the parent's future output.
-  [[nodiscard]] Rng split(std::uint64_t tag) const;
+  /// Derive an independent child stream. The child seed mixes the parent
+  /// seed, the tag and a per-parent split counter, so children are
+  /// independent of each other (even when tags collide across successive
+  /// calls), of the parent's future output, and of children split from other
+  /// parents. Contract: given the same parent seed and the same *sequence*
+  /// of split calls, the derived children are identical — splitting is
+  /// deterministic per call sequence, not per tag. Splitting never advances
+  /// the parent's engine, so draws interleaved with splits are unaffected.
+  [[nodiscard]] Rng split(std::uint64_t tag);
+
+  /// Number of times split() has been called on this generator.
+  [[nodiscard]] std::uint64_t split_count() const noexcept {
+    return split_count_;
+  }
 
   /// Uniform double in [0, 1).
   double uniform();
@@ -84,6 +95,7 @@ class Rng {
  private:
   std::mt19937_64 engine_;
   std::uint64_t seed_;
+  std::uint64_t split_count_ = 0;
 };
 
 }  // namespace vdbench::stats

@@ -1,0 +1,36 @@
+#include "stats/timer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdbench::stats {
+
+void StageTimer::record(const std::string& label, double seconds) {
+  if (seconds < 0.0)
+    throw std::invalid_argument("StageTimer::record: seconds must be >= 0");
+  const auto it =
+      std::find_if(stages_.begin(), stages_.end(),
+                   [&](const Stage& s) { return s.label == label; });
+  if (it != stages_.end()) {
+    it->seconds += seconds;
+    ++it->calls;
+    return;
+  }
+  stages_.push_back(Stage{label, seconds, 1});
+}
+
+double StageTimer::total_seconds() const noexcept {
+  double total = 0.0;
+  for (const Stage& s : stages_) total += s.seconds;
+  return total;
+}
+
+void StageTimer::stop(const Scope& scope) {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    scope.start_)
+          .count();
+  record(scope.label_, elapsed < 0.0 ? 0.0 : elapsed);
+}
+
+}  // namespace vdbench::stats

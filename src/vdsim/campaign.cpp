@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "stats/parallel.h"
 #include "stats/rank.h"
 
 namespace vdbench::vdsim {
@@ -49,8 +50,26 @@ AgreementMatrix metric_agreement(const std::vector<core::MetricId>& metrics,
                       stats::Matrix(metrics.size(), metrics.size(), 0.0),
                       stats::Matrix(metrics.size(), metrics.size(), 0.0)};
 
-  for (std::size_t p = 0; p < populations; ++p) {
-    stats::Rng pop_rng = rng.split(p + 90001);
+  // Pre-split one child per population (serially, in index order) so the
+  // parallel sweep below is bit-identical for every thread count.
+  std::vector<stats::Rng> pop_rngs;
+  pop_rngs.reserve(populations);
+  for (std::size_t p = 0; p < populations; ++p)
+    pop_rngs.push_back(rng.split(p));
+
+  // Per-population upper-triangular contributions, reduced in index order
+  // afterwards so floating-point accumulation order is fixed.
+  struct PopulationTaus {
+    stats::Matrix tau;
+    stats::Matrix valid;
+  };
+  std::vector<PopulationTaus> contributions(
+      populations, PopulationTaus{
+                       stats::Matrix(metrics.size(), metrics.size(), 0.0),
+                       stats::Matrix(metrics.size(), metrics.size(), 0.0)});
+
+  stats::parallel_for_indexed(populations, [&](std::size_t p) {
+    stats::Rng& pop_rng = pop_rngs[p];
     Workload workload = generate_workload(spec, pop_rng);
     std::vector<ToolProfile> tools;
     tools.reserve(tools_per_population);
@@ -71,6 +90,7 @@ AgreementMatrix metric_agreement(const std::vector<core::MetricId>& metrics,
         utilities[m].push_back(u);
       }
     }
+    PopulationTaus& contribution = contributions[p];
     for (std::size_t a = 0; a < metrics.size(); ++a) {
       for (std::size_t b = a; b < metrics.size(); ++b) {
         if (!defined[a] || !defined[b]) continue;
@@ -82,7 +102,18 @@ AgreementMatrix metric_agreement(const std::vector<core::MetricId>& metrics,
             continue;  // entirely tied vector: no information
           }
         }
-        out.tau(a, b) += tau;
+        contribution.tau(a, b) = tau;
+        contribution.valid(a, b) = 1.0;
+      }
+    }
+  });
+
+  for (std::size_t p = 0; p < populations; ++p) {
+    const PopulationTaus& contribution = contributions[p];
+    for (std::size_t a = 0; a < metrics.size(); ++a) {
+      for (std::size_t b = a; b < metrics.size(); ++b) {
+        if (contribution.valid(a, b) == 0.0) continue;
+        out.tau(a, b) += contribution.tau(a, b);
         out.tau(b, a) = out.tau(a, b);
         out.valid_populations(a, b) += 1.0;
         out.valid_populations(b, a) = out.valid_populations(a, b);
@@ -110,7 +141,7 @@ std::vector<PrevalencePoint> prevalence_sweep(
   out.reserve(prevalence_grid.size());
   for (std::size_t i = 0; i < prevalence_grid.size(); ++i) {
     spec.prevalence = prevalence_grid[i];
-    stats::Rng point_rng = rng.split(i + 40001);
+    stats::Rng point_rng = rng.split(i);
     const Workload workload = generate_workload(spec, point_rng);
     const BenchmarkResult result =
         run_benchmark(tool, workload, costs, point_rng);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "stats/descriptive.h"
+#include "stats/parallel.h"
 
 namespace vdbench::vdsim {
 
@@ -40,17 +41,30 @@ SuiteResult run_suite(const std::vector<ToolProfile>& tools,
       throw std::invalid_argument("run_suite: descriptive metric in list");
   for (const ToolProfile& t : tools) t.validate();
 
-  // values[tool][metric][run]
+  // Pre-split one child per run (serially, in index order): the parallel
+  // sweep below then yields the same per-run results for every thread count.
+  std::vector<stats::Rng> run_rngs;
+  run_rngs.reserve(config.runs);
+  for (std::size_t run = 0; run < config.runs; ++run)
+    run_rngs.push_back(rng.split(run));
+  stats::Rng boot_rng = rng.split(config.runs);
+
+  // Each run benchmarks every tool on its own workload, into slot `run`.
+  std::vector<std::vector<BenchmarkResult>> run_results(config.runs);
+  stats::parallel_for_indexed(config.runs, [&](std::size_t run) {
+    stats::Rng& run_rng = run_rngs[run];
+    const Workload workload = generate_workload(config.workload, run_rng);
+    run_results[run] =
+        run_benchmarks(tools, workload, config.costs, run_rng);
+  });
+
+  // values[tool][metric][run], reduced in run order.
   std::vector<std::vector<std::vector<double>>> values(
       tools.size(), std::vector<std::vector<double>>(metrics.size()));
   std::vector<std::vector<std::size_t>> undefined(
       tools.size(), std::vector<std::size_t>(metrics.size(), 0));
-
   for (std::size_t run = 0; run < config.runs; ++run) {
-    stats::Rng run_rng = rng.split(run + 60000);
-    const Workload workload = generate_workload(config.workload, run_rng);
-    const std::vector<BenchmarkResult> results =
-        run_benchmarks(tools, workload, config.costs, run_rng);
+    const std::vector<BenchmarkResult>& results = run_results[run];
     for (std::size_t t = 0; t < tools.size(); ++t) {
       for (std::size_t m = 0; m < metrics.size(); ++m) {
         const double v = results[t].metric(metrics[m]);
@@ -65,7 +79,6 @@ SuiteResult run_suite(const std::vector<ToolProfile>& tools,
   SuiteResult suite;
   suite.config = config;
   suite.metrics = metrics;
-  stats::Rng boot_rng = rng.split(61000);
   for (std::size_t t = 0; t < tools.size(); ++t) {
     ToolEstimates est;
     est.tool_name = tools[t].name;

@@ -1,0 +1,124 @@
+// Determinism contract of the parallel experiment engine: every experiment
+// artifact is bit-identical whatever the thread count, and identical across
+// consecutive runs in the same process. Exported JSON is compared
+// byte-for-byte — not approximately — because the engine's pre-split /
+// indexed-write discipline guarantees the exact same floating-point
+// operations in the exact same order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/properties.h"
+#include "report/export.h"
+#include "stats/parallel.h"
+#include "stats/rng.h"
+#include "vdsim/campaign.h"
+#include "vdsim/suite.h"
+
+namespace vdbench {
+namespace {
+
+vdsim::SuiteConfig small_suite_config() {
+  vdsim::SuiteConfig cfg;
+  cfg.workload.num_services = 30;
+  cfg.workload.prevalence = 0.12;
+  cfg.runs = 8;
+  cfg.bootstrap_replicates = 100;
+  return cfg;
+}
+
+std::string suite_json_with_threads(std::size_t threads) {
+  stats::set_global_threads(threads);
+  const std::vector<vdsim::ToolProfile> tools = {
+      vdsim::make_archetype_profile(vdsim::ToolArchetype::kStaticAnalyzer,
+                                    0.8, "good"),
+      vdsim::make_archetype_profile(vdsim::ToolArchetype::kFuzzer, 0.4,
+                                    "bad")};
+  const std::vector<core::MetricId> metrics = {core::MetricId::kFMeasure,
+                                               core::MetricId::kMcc};
+  stats::Rng rng(20150622);
+  const vdsim::SuiteResult suite =
+      run_suite(tools, metrics, small_suite_config(), rng);
+  return report::suite_to_json(suite);
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  // Leave the process-wide pool at its default size for other tests.
+  void TearDown() override { stats::set_global_threads(0); }
+};
+
+TEST_F(DeterminismTest, SuiteJsonIsByteIdenticalAcrossThreadCounts) {
+  const std::string serial = suite_json_with_threads(1);
+  EXPECT_EQ(serial, suite_json_with_threads(2));
+  EXPECT_EQ(serial, suite_json_with_threads(8));
+}
+
+TEST_F(DeterminismTest, SuiteJsonIsByteIdenticalAcrossConsecutiveRuns) {
+  stats::set_global_threads(4);
+  const std::string first = suite_json_with_threads(4);
+  const std::string second = suite_json_with_threads(4);
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(DeterminismTest, AgreementMatrixIsThreadCountInvariant) {
+  const auto agreement_with = [](std::size_t threads) {
+    stats::set_global_threads(threads);
+    const std::vector<core::MetricId> metrics = {
+        core::MetricId::kRecall, core::MetricId::kPrecision,
+        core::MetricId::kFMeasure, core::MetricId::kMcc};
+    vdsim::WorkloadSpec spec;
+    spec.num_services = 25;
+    spec.prevalence = 0.12;
+    stats::Rng rng(7);
+    return metric_agreement(metrics, spec, 12, 5, vdsim::CostModel{}, rng);
+  };
+  const vdsim::AgreementMatrix serial = agreement_with(1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const vdsim::AgreementMatrix parallel = agreement_with(threads);
+    ASSERT_EQ(serial.metrics, parallel.metrics);
+    for (std::size_t a = 0; a < serial.metrics.size(); ++a) {
+      for (std::size_t b = 0; b < serial.metrics.size(); ++b) {
+        // Bit-identical, including NaN placement: compare representations.
+        const double lhs = serial.tau(a, b);
+        const double rhs = parallel.tau(a, b);
+        if (std::isnan(lhs)) {
+          EXPECT_TRUE(std::isnan(rhs));
+        } else {
+          EXPECT_EQ(lhs, rhs) << "tau(" << a << "," << b << ") at "
+                              << threads << " threads";
+        }
+        EXPECT_EQ(serial.valid_populations(a, b),
+                  parallel.valid_populations(a, b));
+      }
+    }
+  }
+}
+
+TEST_F(DeterminismTest, PropertyAssessmentIsThreadCountInvariant) {
+  const auto assess_with = [](std::size_t threads) {
+    stats::set_global_threads(threads);
+    core::AssessmentConfig cfg;
+    cfg.trials = 60;
+    cfg.benchmark_items = 200;
+    cfg.asymptotic_items = 100'000;
+    stats::Rng rng(42);
+    return core::PropertyAssessor(cfg).assess_all(rng);
+  };
+  const std::vector<core::MetricAssessment> serial = assess_with(1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const std::vector<core::MetricAssessment> parallel = assess_with(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].metric, parallel[i].metric);
+      EXPECT_EQ(serial[i].scores, parallel[i].scores)
+          << "metric " << core::metric_info(serial[i].metric).key << " at "
+          << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vdbench

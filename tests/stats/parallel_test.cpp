@@ -1,0 +1,138 @@
+#include "stats/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace vdbench::stats {
+namespace {
+
+TEST(ParallelExecutorTest, RunsEveryIndexExactlyOnce) {
+  ParallelExecutor exec(4);
+  std::vector<std::atomic<int>> hits(100);
+  exec.parallel_for_indexed(100, [&](std::size_t i) { hits[i]++; });
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelExecutorTest, ZeroTasksIsNoOp) {
+  ParallelExecutor exec(4);
+  bool called = false;
+  exec.parallel_for_indexed(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelExecutorTest, FewerTasksThanThreads) {
+  ParallelExecutor exec(8);
+  std::vector<std::atomic<int>> hits(3);
+  exec.parallel_for_indexed(3, [&](std::size_t i) { hits[i]++; });
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelExecutorTest, SingleThreadPoolRunsInline) {
+  ParallelExecutor exec(1);
+  EXPECT_EQ(exec.thread_count(), 1u);
+  std::vector<int> order;
+  exec.parallel_for_indexed(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // safe: inline serial execution
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelExecutorTest, ExceptionFromTaskPropagates) {
+  ParallelExecutor exec(4);
+  EXPECT_THROW(
+      exec.parallel_for_indexed(
+          16,
+          [&](std::size_t i) {
+            if (i == 7) throw std::runtime_error("task 7 failed");
+          }),
+      std::runtime_error);
+}
+
+TEST(ParallelExecutorTest, LowestIndexExceptionWinsAndAllTasksRun) {
+  for (const std::size_t threads : {1u, 4u}) {
+    ParallelExecutor exec(threads);
+    std::vector<std::atomic<int>> hits(32);
+    try {
+      exec.parallel_for_indexed(32, [&](std::size_t i) {
+        hits[i]++;
+        if (i == 20) throw std::runtime_error("late");
+        if (i == 5) throw std::invalid_argument("early");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_STREQ(e.what(), "early");
+    }
+    // Failure must not cancel the sweep: every slot was still visited.
+    for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelExecutorTest, ExecutorIsReusableAfterException) {
+  ParallelExecutor exec(4);
+  EXPECT_THROW(exec.parallel_for_indexed(
+                   4, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> sum{0};
+  exec.parallel_for_indexed(10, [&](std::size_t i) {
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ParallelExecutorTest, NestedCallsRunInline) {
+  ParallelExecutor exec(4);
+  std::vector<std::atomic<int>> hits(8 * 8);
+  exec.parallel_for_indexed(8, [&](std::size_t outer) {
+    // A nested fan-out on the same fixed pool must not deadlock; it runs
+    // inline on the worker.
+    exec.parallel_for_indexed(8, [&](std::size_t inner) {
+      hits[outer * 8 + inner]++;
+    });
+  });
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelExecutorTest, IndexedRngSplitIsThreadCountInvariant) {
+  // The canonical usage pattern: pre-split children in index order, write
+  // to slot i. The result must be identical for every pool size.
+  const auto run_with = [](std::size_t threads) {
+    ParallelExecutor exec(threads);
+    Rng rng(12345);
+    std::vector<Rng> children;
+    children.reserve(64);
+    for (std::size_t i = 0; i < 64; ++i) children.push_back(rng.split(i));
+    std::vector<double> out(64);
+    exec.parallel_for_indexed(64, [&](std::size_t i) {
+      double acc = 0.0;
+      for (int d = 0; d < 100; ++d) acc += children[i].uniform();
+      out[i] = acc;
+    });
+    return out;
+  };
+  const std::vector<double> serial = run_with(1);
+  EXPECT_EQ(serial, run_with(2));
+  EXPECT_EQ(serial, run_with(8));
+}
+
+TEST(ParallelExecutorTest, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(ParallelExecutor::default_thread_count(), 1u);
+}
+
+TEST(GlobalExecutorTest, SetGlobalThreadsReplacesPool) {
+  set_global_threads(2);
+  EXPECT_EQ(global_executor().thread_count(), 2u);
+  std::vector<std::atomic<int>> hits(10);
+  parallel_for_indexed(10, [&](std::size_t i) { hits[i]++; });
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+  set_global_threads(0);  // back to the environment/hardware default
+  EXPECT_GE(global_executor().thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace vdbench::stats

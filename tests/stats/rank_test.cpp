@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "stats/rng.h"
@@ -129,6 +130,40 @@ TEST(RankTest, TopKOverlapRejectsBadK) {
   const std::vector<double> xs = {1.0, 2.0};
   EXPECT_THROW(top_k_overlap(xs, xs, 0), std::invalid_argument);
   EXPECT_THROW(top_k_overlap(xs, xs, 3), std::invalid_argument);
+}
+
+TEST(RankTest, RejectsNonFiniteInput) {
+  // Regression: NaN input used to reach the raw </> sort comparators,
+  // violating strict weak ordering and leaving stable_sort unspecified
+  // (reachable in practice — undefined metrics produce NaN utilities).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> with_nan = {1.0, nan, 3.0};
+  const std::vector<double> with_inf = {1.0, inf, 3.0};
+  const std::vector<double> with_neg_inf = {1.0, -inf, 3.0};
+  const std::vector<double> clean = {1.0, 2.0, 3.0};
+
+  EXPECT_THROW(average_ranks(with_nan), std::invalid_argument);
+  EXPECT_THROW(average_ranks(with_inf), std::invalid_argument);
+  EXPECT_THROW(average_ranks(with_neg_inf), std::invalid_argument);
+  EXPECT_THROW(order_descending(with_nan), std::invalid_argument);
+
+  EXPECT_THROW(pearson(with_nan, clean), std::invalid_argument);
+  EXPECT_THROW(pearson(clean, with_inf), std::invalid_argument);
+  EXPECT_THROW(spearman(with_nan, clean), std::invalid_argument);
+  EXPECT_THROW(spearman(clean, with_nan), std::invalid_argument);
+  EXPECT_THROW(kendall_tau(with_nan, clean), std::invalid_argument);
+  EXPECT_THROW(kendall_tau(clean, with_neg_inf), std::invalid_argument);
+  EXPECT_THROW(top_k_overlap(with_nan, clean, 2), std::invalid_argument);
+  EXPECT_THROW(top_k_overlap(clean, with_inf, 2), std::invalid_argument);
+  EXPECT_THROW(same_top_choice(with_nan, clean), std::invalid_argument);
+}
+
+TEST(RankTest, AllNanInputStillThrows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> nans = {nan, nan, nan};
+  EXPECT_THROW(average_ranks(nans), std::invalid_argument);
+  EXPECT_THROW(kendall_tau(nans, nans), std::invalid_argument);
 }
 
 TEST(RankTest, SameTopChoice) {

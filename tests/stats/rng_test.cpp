@@ -23,11 +23,28 @@ TEST(RngTest, DifferentSeedsDiverge) {
   EXPECT_LT(equal, 5);
 }
 
-TEST(RngTest, SplitIsDeterministic) {
+TEST(RngTest, SplitSequenceIsDeterministic) {
+  // The contract: identical parent seed + identical sequence of split calls
+  // -> identical children, so reconstructing a parent replays its children.
+  Rng a(7), b(7);
+  Rng a1 = a.split(3), a2 = a.split(3);
+  Rng b1 = b.split(3), b2 = b.split(3);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a1.uniform(), b1.uniform());
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a2.uniform(), b2.uniform());
+}
+
+TEST(RngTest, RepeatedSplitWithSameTagYieldsFreshStream) {
+  // Regression: split used to be pure in the seed, so two same-tag splits
+  // silently reused one stream and call sites had to invent disjoint tag
+  // offsets. The per-parent split counter makes every call a new stream.
   Rng parent(7);
   Rng c1 = parent.split(3);
   Rng c2 = parent.split(3);
-  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(c1.uniform(), c2.uniform());
+  EXPECT_EQ(parent.split_count(), 2u);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (c1.uniform() == c2.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
 }
 
 TEST(RngTest, SplitChildrenIndependent) {
@@ -37,6 +54,19 @@ TEST(RngTest, SplitChildrenIndependent) {
   int equal = 0;
   for (int i = 0; i < 100; ++i)
     if (c1.uniform() == c2.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, SplitCounterDistinguishesParentsWithEqualSeedHistory) {
+  // Two parents with the same seed but different split histories produce
+  // different next children even for the same tag.
+  Rng a(11), b(11);
+  (void)a.split(0);  // advance a's split counter only
+  Rng ca = a.split(9);
+  Rng cb = b.split(9);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (ca.uniform() == cb.uniform()) ++equal;
   EXPECT_LT(equal, 5);
 }
 

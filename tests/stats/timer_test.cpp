@@ -1,0 +1,64 @@
+#include "stats/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vdbench::stats {
+namespace {
+
+TEST(StageTimerTest, RecordAccumulatesByLabel) {
+  StageTimer timer;
+  timer.record("load", 1.0);
+  timer.record("compute", 2.0);
+  timer.record("load", 0.5);
+  ASSERT_EQ(timer.stages().size(), 2u);
+  EXPECT_EQ(timer.stages()[0].label, "load");
+  EXPECT_DOUBLE_EQ(timer.stages()[0].seconds, 1.5);
+  EXPECT_EQ(timer.stages()[0].calls, 2u);
+  EXPECT_EQ(timer.stages()[1].label, "compute");
+  EXPECT_DOUBLE_EQ(timer.total_seconds(), 3.5);
+}
+
+TEST(StageTimerTest, RecordRejectsNegativeDuration) {
+  StageTimer timer;
+  EXPECT_THROW(timer.record("x", -1.0), std::invalid_argument);
+}
+
+TEST(StageTimerTest, ScopeRecordsElapsedTime) {
+  StageTimer timer;
+  {
+    const auto scope = timer.scope("work");
+    volatile double sink = 0.0;
+    for (int i = 0; i < 10000; ++i) sink = sink + static_cast<double>(i);
+  }
+  ASSERT_EQ(timer.stages().size(), 1u);
+  EXPECT_EQ(timer.stages()[0].label, "work");
+  EXPECT_GE(timer.stages()[0].seconds, 0.0);
+  EXPECT_EQ(timer.stages()[0].calls, 1u);
+}
+
+TEST(StageTimerTest, MovedFromScopeDoesNotDoubleRecord) {
+  StageTimer timer;
+  {
+    auto outer = [&] { return timer.scope("phase"); }();
+    (void)outer;
+  }
+  ASSERT_EQ(timer.stages().size(), 1u);
+  EXPECT_EQ(timer.stages()[0].calls, 1u);
+}
+
+TEST(StageTimerTest, PreservesFirstRecordedOrder) {
+  StageTimer timer;
+  timer.record("c", 0.1);
+  timer.record("a", 0.1);
+  timer.record("b", 0.1);
+  timer.record("a", 0.1);
+  ASSERT_EQ(timer.stages().size(), 3u);
+  EXPECT_EQ(timer.stages()[0].label, "c");
+  EXPECT_EQ(timer.stages()[1].label, "a");
+  EXPECT_EQ(timer.stages()[2].label, "b");
+}
+
+}  // namespace
+}  // namespace vdbench::stats

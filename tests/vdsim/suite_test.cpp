@@ -87,13 +87,20 @@ TEST(SuiteTest, ClearQualityGapIsSignificant) {
 }
 
 TEST(SuiteTest, NearIdenticalToolsAreNotSignificant) {
-  stats::Rng rng(5);
-  const SuiteResult r =
-      run_suite(two_tools(0.60, 0.59), kMetrics, small_config(), rng);
-  std::size_t significant = 0;
-  for (const PairwiseComparison& cmp : r.comparisons)
-    if (cmp.significant()) ++significant;
-  EXPECT_LT(significant, r.comparisons.size())
+  // Any single seed can produce a spurious rejection at alpha = 0.05, so
+  // pool a few campaigns: a 0.01 quality gap must not be resolvable in the
+  // majority of 12-run campaigns.
+  std::size_t significant = 0, total = 0;
+  for (const std::uint64_t seed : {5u, 6u, 7u}) {
+    stats::Rng rng(seed);
+    const SuiteResult r =
+        run_suite(two_tools(0.60, 0.59), kMetrics, small_config(), rng);
+    for (const PairwiseComparison& cmp : r.comparisons) {
+      if (cmp.significant()) ++significant;
+      ++total;
+    }
+  }
+  EXPECT_LT(significant * 2, total)
       << "a 0.01 quality gap should not be resolvable in 12 small runs";
 }
 

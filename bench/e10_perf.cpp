@@ -1,12 +1,16 @@
 // E10 — performance microbenchmarks (google-benchmark). Not a paper
 // artifact: these measure the library's own hot paths so regressions in
-// the experiment harness are visible.
+// the experiment harness are visible. Registered with the driver as a
+// NON-cacheable experiment — wall-clock measurements are inherently
+// unrepeatable, so e10 always runs fresh and is excluded from
+// `--experiments all` (request it explicitly: `vdbench --experiments e10`).
 #include <benchmark/benchmark.h>
 
 #include "core/properties.h"
 #include "core/sampling.h"
 #include "core/validation.h"
 #include "core/roc.h"
+#include "experiments.h"
 #include "mcda/expert.h"
 #include "vdsim/campaign.h"
 #include "vdsim/combine.h"
@@ -151,4 +155,27 @@ BENCHMARK(BM_PropertyAssessOneMetric);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace vdbench::bench {
+
+namespace {
+
+void run(cli::ExperimentContext& ctx) {
+  const auto scope = ctx.timer.scope("microbenchmarks");
+  int argc = 1;
+  char arg0[] = "vdbench-e10";
+  char* argv[] = {arg0, nullptr};
+  benchmark::Initialize(&argc, argv);
+  benchmark::ConsoleReporter reporter(benchmark::ConsoleReporter::OO_None);
+  reporter.SetOutputStream(&ctx.out);
+  reporter.SetErrorStream(&ctx.out);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+}
+
+}  // namespace
+
+void register_e10(cli::ExperimentRegistry& registry) {
+  registry.add({"e10", "library hot-path microbenchmarks (google-benchmark)",
+                "perf{wall-clock}", /*cacheable=*/false, run});
+}
+
+}  // namespace vdbench::bench

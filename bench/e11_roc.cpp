@@ -3,27 +3,29 @@
 // cost-optimal operating points per scenario. Not a table of the original
 // paper; reconstructs its discussion that point metrics evaluate a tool at
 // one threshold while the underlying detector has a whole curve.
-#include <iostream>
-
 #include "core/roc.h"
+#include "experiments.h"
 #include "report/chart.h"
 #include "report/table.h"
 #include "study_common.h"
 #include "vdsim/campaign.h"
 
-int main() {
-  using namespace vdbench;
+namespace vdbench::bench {
 
+namespace {
+
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
   vdsim::WorkloadSpec spec;
   spec.num_services = 300;
   spec.prevalence = 0.10;
-  stats::Rng wrng(bench::kStudySeed);
+  stats::Rng wrng(kStudySeed);
   const vdsim::Workload workload = generate_workload(spec, wrng);
 
-  std::cout << "E11 (extension): ROC analysis of the built-in tools as "
-               "ranking detectors\n("
-            << workload.total_sites() << " candidate sites, "
-            << workload.total_vulns() << " vulnerabilities)\n\n";
+  out << "E11 (extension): ROC analysis of the built-in tools as "
+         "ranking detectors\n("
+      << workload.total_sites() << " candidate sites, "
+      << workload.total_vulns() << " vulnerabilities)\n\n";
 
   report::Table table({"tool", "AUC", "TPR@FPR=1%", "TPR@FPR=5%",
                        "J* threshold", "cost* TPR (10:1)",
@@ -31,10 +33,9 @@ int main() {
   report::LineChart chart("E11 figure: ROC curves", "FPR", "TPR");
   chart.set_y_range(0.0, 1.0);
 
-  stats::StageTimer timer;
   for (const vdsim::ToolProfile& tool : vdsim::builtin_tools()) {
-    const auto scope = timer.scope("ROC sweep");
-    stats::Rng rng = stats::Rng(bench::kStudySeed + 11)
+    const auto scope = ctx.timer.scope("ROC sweep");
+    stats::Rng rng = stats::Rng(kStudySeed + 11)
                          .split(std::hash<std::string>{}(tool.name));
     const core::RocCurve roc{vdsim::run_tool_scored(tool, workload, rng)};
     const core::RocPoint& jstar = roc.youden_point();
@@ -53,15 +54,22 @@ int main() {
     }
     chart.add_series(std::move(s));
   }
-  table.print(std::cout);
-  std::cout << "\n";
-  chart.print(std::cout);
+  table.print(out);
+  out << "\n";
+  chart.print(out);
 
-  std::cout << "\nShape check: AUC ranks the *detectors* irrespective of "
-               "threshold; the 10:1 cost-optimal operating points sit at "
-               "higher TPR/FPR than a cost-blind Youden choice would — the "
-               "scenario cost model, not the curve alone, picks the "
-               "threshold.\n";
-  bench::emit_stage_timings(timer, "e11_roc", std::cout);
-  return 0;
+  out << "\nShape check: AUC ranks the *detectors* irrespective of "
+         "threshold; the 10:1 cost-optimal operating points sit at "
+         "higher TPR/FPR than a cost-blind Youden choice would — the "
+         "scenario cost model, not the curve alone, picks the "
+         "threshold.\n";
 }
+
+}  // namespace
+
+void register_e11(cli::ExperimentRegistry& registry) {
+  registry.add({"e11", "ROC curves and cost-optimal operating points",
+                "roc{services=300;prev=0.10;costs=10:1}", true, run});
+}
+
+}  // namespace vdbench::bench

@@ -2,37 +2,44 @@
 // estimates with bootstrap confidence intervals over repeated independent
 // workloads, pairwise significance between tools, and a weight-sensitivity
 // check of the E7 scenario recommendation.
-#include <fstream>
-#include <iostream>
+#include <algorithm>
 
+#include "experiments.h"
 #include "mcda/sensitivity.h"
 #include "report/export.h"
 #include "report/table.h"
 #include "study_common.h"
 #include "vdsim/suite.h"
 
-int main() {
-  using namespace vdbench;
+namespace vdbench::bench {
 
+namespace {
+
+vdsim::SuiteConfig suite_config() {
   vdsim::SuiteConfig cfg;
   cfg.workload.num_services = 80;
   cfg.workload.prevalence = 0.12;
   cfg.runs = 25;
   cfg.costs = vdsim::CostModel{10.0, 1.0};
+  return cfg;
+}
+
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
+  const vdsim::SuiteConfig cfg = suite_config();
 
   const std::vector<core::MetricId> metrics = {
       core::MetricId::kRecall, core::MetricId::kPrecision,
       core::MetricId::kFMeasure, core::MetricId::kMcc,
       core::MetricId::kNormalizedExpectedCost};
 
-  std::cout << "E13a (extension): repeated-benchmark protocol — " << cfg.runs
-            << " independent workloads, " << cfg.workload.num_services
-            << " services each\n\n";
+  out << "E13a (extension): repeated-benchmark protocol — " << cfg.runs
+      << " independent workloads, " << cfg.workload.num_services
+      << " services each\n\n";
 
-  stats::StageTimer timer;
-  stats::Rng rng(bench::kStudySeed + 13);
+  stats::Rng rng(kStudySeed + 13);
   const vdsim::SuiteResult suite = [&] {
-    const auto scope = timer.scope("suite campaign");
+    const auto scope = ctx.timer.scope("suite campaign");
     return run_suite(vdsim::builtin_tools(), metrics, cfg, rng);
   }();
 
@@ -49,9 +56,9 @@ int main() {
            std::to_string(est.undefined_runs)});
     }
   }
-  estimates.print(std::cout);
+  estimates.print(out);
 
-  std::cout << "\npairwise comparisons on MCC (Welch two-sided):\n";
+  out << "\npairwise comparisons on MCC (Welch two-sided):\n";
   report::Table pairs({"pair", "mean A", "mean B", "p-value",
                        "P(A beats B)", "verdict"});
   for (const vdsim::PairwiseComparison& cmp : suite.comparisons) {
@@ -63,26 +70,23 @@ int main() {
                    report::format_value(cmp.probability_superiority),
                    cmp.significant() ? "significant" : "not resolvable"});
   }
-  pairs.print(std::cout);
+  pairs.print(out);
 
   // Machine-readable artifact for archival/diffing.
-  if (std::ofstream json_out("e13_suite.json"); json_out) {
-    json_out << report::suite_to_json(suite) << "\n";
-    std::cout << "\nwrote machine-readable campaign results to "
-                 "e13_suite.json\n";
-  }
+  ctx.add_artifact("e13_suite.json", report::suite_to_json(suite) + "\n");
+  out << "\nwrote machine-readable campaign results to e13_suite.json\n";
 
   // E13b: weight-sensitivity of the s1 recommendation.
-  std::cout << "\nE13b (extension): weight sensitivity of the s1_critical "
-               "metric recommendation\n\n";
+  out << "\nE13b (extension): weight sensitivity of the s1_critical "
+         "metric recommendation\n\n";
   const auto assessments = [&] {
-    const auto scope = timer.scope("stage 1 assessment");
-    return bench::run_stage1();
+    const auto scope = ctx.timer.scope("stage 1 assessment");
+    return run_stage1();
   }();
   const core::Scenario& scenario = core::builtin_scenario("s1_critical");
   const auto effectiveness = [&] {
-    const auto scope = timer.scope("stage 2: s1_critical");
-    return bench::run_stage2(scenario);
+    const auto scope = ctx.timer.scope("stage 2: s1_critical");
+    return run_stage2(scenario);
   }();
 
   // Alternatives x criteria scores (same construction as the validator).
@@ -108,29 +112,41 @@ int main() {
   for (double& w : weights) w = std::max(w, 0.01);
   weights.push_back(0.8);  // scenario-fit criterion
 
-  stats::Rng srng(bench::kStudySeed + 14);
+  stats::Rng srng(kStudySeed + 14);
   const mcda::SensitivityResult sens = [&] {
-    const auto scope = timer.scope("weight sensitivity");
+    const auto scope = ctx.timer.scope("weight sensitivity");
     return mcda::weight_sensitivity(scores, weights, 0.35, 2000, srng);
   }();
-  std::cout << "baseline winner stability under 35% lognormal weight "
-               "perturbation (2000 trials): "
-            << report::format_percent(sens.top_choice_stability)
-            << "; mean Kendall distance to baseline ranking: "
-            << report::format_value(sens.mean_kendall_distance) << "\n";
+  out << "baseline winner stability under 35% lognormal weight "
+         "perturbation (2000 trials): "
+      << report::format_percent(sens.top_choice_stability)
+      << "; mean Kendall distance to baseline ranking: "
+      << report::format_value(sens.mean_kendall_distance) << "\n";
   report::Table wins({"metric", "win share"});
   for (std::size_t a = 0; a < alt_ids.size(); ++a) {
     if (sens.win_share[a] < 0.005) continue;
     wins.add_row({std::string(core::metric_info(alt_ids[a]).key),
                   report::format_percent(sens.win_share[a])});
   }
-  wins.print(std::cout);
+  wins.print(out);
 
-  std::cout << "\nShape check: tools separated by a real quality gap are "
-               "significant at 25 runs while near-ties are not; the "
-               "scenario recommendation survives large weight "
-               "perturbations (win share concentrated on the top metric "
-               "family).\n";
-  bench::emit_stage_timings(timer, "e13_repeated", std::cout);
-  return 0;
+  out << "\nShape check: tools separated by a real quality gap are "
+         "significant at 25 runs while near-ties are not; the "
+         "scenario recommendation survives large weight "
+         "perturbations (win share concentrated on the top metric "
+         "family).\n";
 }
+
+}  // namespace
+
+void register_e13(cli::ExperimentRegistry& registry) {
+  const vdsim::SuiteConfig cfg = suite_config();
+  registry.add({"e13", "repeated-benchmark CIs + weight sensitivity",
+                stage1_fingerprint() + stage2_fingerprint() +
+                    "suite{runs=" + std::to_string(cfg.runs) +
+                    ";services=" + std::to_string(cfg.workload.num_services) +
+                    ";prev=0.12;costs=10:1;sens=0.35x2000}",
+                true, run});
+}
+
+}  // namespace vdbench::bench

@@ -3,27 +3,28 @@
 // preset, their macro class recall and their weakest class. Shows why a
 // single aggregate number hides the capability structure that actually
 // decides which tool fits a codebase.
-#include <iostream>
-
+#include "experiments.h"
 #include "report/table.h"
 #include "study_common.h"
 #include "vdsim/presets.h"
 #include "vdsim/runner.h"
 
-int main() {
-  using namespace vdbench;
+namespace vdbench::bench {
 
-  std::cout << "E14 (extension): per-class tool capability across corpus "
-               "archetypes\n\n";
+namespace {
 
-  stats::StageTimer timer;
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
+  out << "E14 (extension): per-class tool capability across corpus "
+         "archetypes\n\n";
+
   // Summary over all presets: macro class recall + weakest class.
   report::Table summary({"preset", "tool", "recall", "macro class recall",
                          "weakest class"});
   for (const vdsim::WorkloadPreset preset : vdsim::all_workload_presets()) {
-    const auto scope = timer.scope("preset summary");
+    const auto scope = ctx.timer.scope("preset summary");
     const vdsim::WorkloadSpec spec = vdsim::preset_spec(preset, 200);
-    stats::Rng wrng = stats::Rng(bench::kStudySeed + 14)
+    stats::Rng wrng = stats::Rng(kStudySeed + 14)
                           .split(static_cast<std::uint64_t>(preset));
     const vdsim::Workload workload = generate_workload(spec, wrng);
     stats::Rng rng = wrng.split(1);
@@ -39,23 +40,23 @@ int main() {
                : std::string(vdsim::vuln_class_name(r.weakest_class()))});
     }
   }
-  summary.print(std::cout);
+  summary.print(out);
 
   // Detailed per-class recall on the two most contrasting presets.
   for (const vdsim::WorkloadPreset preset :
        {vdsim::WorkloadPreset::kWebServices,
         vdsim::WorkloadPreset::kLegacyMonolith}) {
-    const auto scope = timer.scope("per-class detail");
+    const auto scope = ctx.timer.scope("per-class detail");
     const vdsim::WorkloadSpec spec = vdsim::preset_spec(preset, 300);
-    stats::Rng wrng = stats::Rng(bench::kStudySeed + 15)
+    stats::Rng wrng = stats::Rng(kStudySeed + 15)
                           .split(static_cast<std::uint64_t>(preset));
     const vdsim::Workload workload = generate_workload(spec, wrng);
     stats::Rng rng = wrng.split(1);
     const auto results = run_benchmarks(vdsim::builtin_tools(), workload,
                                         vdsim::CostModel{}, rng);
-    std::cout << "\nper-class recall — " << vdsim::preset_key(preset) << " ("
-              << vdsim::preset_description(preset) << "; "
-              << workload.total_vulns() << " seeded vulnerabilities)\n";
+    out << "\nper-class recall — " << vdsim::preset_key(preset) << " ("
+        << vdsim::preset_description(preset) << "; "
+        << workload.total_vulns() << " seeded vulnerabilities)\n";
     std::vector<std::string> headers = {"tool"};
     for (const vdsim::VulnClass c : vdsim::all_vuln_classes())
       headers.push_back(std::string(vdsim::vuln_class_cwe(c)));
@@ -67,14 +68,21 @@ int main() {
             r.by_class[vdsim::vuln_class_index(c)].recall(), 2));
       table.add_row(std::move(row));
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
-  std::cout << "\nShape check: penetration testers lead on CWE-89/79 "
-               "(injection) and collapse on CWE-120/416 (memory); fuzzers "
-               "invert that; the pen-tester's overall recall roughly halves "
-               "from web_services to legacy_monolith while the fuzzer's "
-               "rises — the workload archetype is part of the scenario.\n";
-  bench::emit_stage_timings(timer, "e14_perclass", std::cout);
-  return 0;
+  out << "\nShape check: penetration testers lead on CWE-89/79 "
+         "(injection) and collapse on CWE-120/416 (memory); fuzzers "
+         "invert that; the pen-tester's overall recall roughly halves "
+         "from web_services to legacy_monolith while the fuzzer's "
+         "rises — the workload archetype is part of the scenario.\n";
 }
+
+}  // namespace
+
+void register_e14(cli::ExperimentRegistry& registry) {
+  registry.add({"e14", "per-class capability across corpus archetypes",
+                "perclass{presets=all;services=200/300}", true, run});
+}
+
+}  // namespace vdbench::bench

@@ -3,34 +3,34 @@
 // effect. When all tools miss the same hard instances, combining tools
 // pays off much less than independence math suggests — a benchmarking
 // conclusion only visible with per-instance ground truth.
-#include <iostream>
-
+#include "experiments.h"
 #include "report/table.h"
 #include "study_common.h"
 #include "vdsim/combine.h"
 #include "vdsim/presets.h"
 
-int main() {
-  using namespace vdbench;
+namespace vdbench::bench {
 
-  stats::StageTimer timer;
+namespace {
+
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
   for (const double gamma : {0.0, 2.0}) {
-    const auto scope =
-        timer.scope("pair analysis gamma=" + report::format_value(gamma, 1));
+    const auto scope = ctx.timer.scope("pair analysis gamma=" +
+                                       report::format_value(gamma, 1));
     vdsim::WorkloadSpec spec =
         vdsim::preset_spec(vdsim::WorkloadPreset::kWebServices, 400);
     spec.difficulty_gamma = gamma;
     spec.difficulty_shape = vdsim::DifficultyShape::kBimodal;
-    stats::Rng wrng = stats::Rng(bench::kStudySeed + 15)
+    stats::Rng wrng = stats::Rng(kStudySeed + 15)
                           .split(static_cast<std::uint64_t>(gamma));
     const vdsim::Workload workload = generate_workload(spec, wrng);
 
-    std::cout << "E15: pairwise tool combination, difficulty gamma = "
-              << gamma
-              << (gamma == 0.0 ? " (independent misses)"
-                               : " (correlated misses on hard instances)")
-              << "\n(" << workload.total_vulns()
-              << " seeded vulnerabilities)\n\n";
+    out << "E15: pairwise tool combination, difficulty gamma = " << gamma
+        << (gamma == 0.0 ? " (independent misses)"
+                         : " (correlated misses on hard instances)")
+        << "\n(" << workload.total_vulns()
+        << " seeded vulnerabilities)\n\n";
 
     report::Table table({"pair", "recall A", "recall B", "union",
                          "independent prediction", "deficit",
@@ -40,7 +40,7 @@ int main() {
     std::size_t pairs = 0;
     for (std::size_t i = 0; i < tools.size(); ++i) {
       for (std::size_t j = i + 1; j < tools.size(); ++j) {
-        stats::Rng rng = stats::Rng(bench::kStudySeed + 16)
+        stats::Rng rng = stats::Rng(kStudySeed + 16)
                              .split(static_cast<std::uint64_t>(gamma))
                              .split(i * 100 + j);
         const vdsim::Complementarity c = analyze_complementarity(
@@ -57,20 +57,27 @@ int main() {
         ++pairs;
       }
     }
-    table.print(std::cout);
-    std::cout << "mean correlation deficit: "
-              << report::format_value(total_deficit /
-                                      static_cast<double>(pairs))
-              << "\n\n";
+    table.print(out);
+    out << "mean correlation deficit: "
+        << report::format_value(total_deficit / static_cast<double>(pairs))
+        << "\n\n";
   }
 
-  std::cout << "Shape check: at gamma=0 the union recall sits on the "
-               "independence prediction (deficit ~ 0, sampling noise "
-               "aside); with the bimodal shared-difficulty effect every "
-               "pair falls clearly short of it — the obscured half of the "
-               "instances is invisible to all tools, capping what tool "
-               "combination can deliver; cross-archetype pairs retain the "
-               "largest marginal gains.\n";
-  bench::emit_stage_timings(timer, "e15_combination", std::cout);
-  return 0;
+  out << "Shape check: at gamma=0 the union recall sits on the "
+         "independence prediction (deficit ~ 0, sampling noise "
+         "aside); with the bimodal shared-difficulty effect every "
+         "pair falls clearly short of it — the obscured half of the "
+         "instances is invisible to all tools, capping what tool "
+         "combination can deliver; cross-archetype pairs retain the "
+         "largest marginal gains.\n";
 }
+
+}  // namespace
+
+void register_e15(cli::ExperimentRegistry& registry) {
+  registry.add({"e15", "tool-combination union recall vs independence",
+                "combination{services=400;gammas=0,2;shape=bimodal}", true,
+                run});
+}
+
+}  // namespace vdbench::bench

@@ -9,18 +9,20 @@
 // fans out on the parallel engine. Every campaign seeds its own Rng chain
 // from (seed, gap, runs, campaign) and writes into its own slot, so the
 // table is bit-identical for any VDBENCH_THREADS value.
-#include <iostream>
 #include <vector>
 
+#include "experiments.h"
 #include "report/chart.h"
 #include "report/table.h"
 #include "stats/parallel.h"
 #include "study_common.h"
 #include "vdsim/suite.h"
 
+namespace vdbench::bench {
+
 namespace {
 
-using namespace vdbench;
+constexpr std::size_t kCampaigns = 25;
 
 // Fraction of campaigns (over repetitions) where the pair comes out
 // significant at alpha = 0.05 on MCC, plus the mean CI width.
@@ -49,7 +51,7 @@ PowerPoint measure_power(double quality_gap, std::size_t runs,
   std::vector<CampaignOutcome> outcomes(campaigns);
   stats::parallel_for_indexed(campaigns, [&](std::size_t c) {
     // Fresh per-campaign seed chain (independent of execution order).
-    stats::Rng rng = stats::Rng(bench::kStudySeed + 16)
+    stats::Rng rng = stats::Rng(kStudySeed + 16)
                          .split(static_cast<std::uint64_t>(quality_gap * 1e4))
                          .split(runs)
                          .split(c);
@@ -71,18 +73,14 @@ PowerPoint measure_power(double quality_gap, std::size_t runs,
   return out;
 }
 
-}  // namespace
-
-int main() {
-  constexpr std::size_t kCampaigns = 25;
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
   const std::vector<std::size_t> run_counts = {3, 5, 8, 12, 20, 32};
   const std::vector<double> gaps = {0.02, 0.05, 0.10};
 
-  std::cout << "E16 (extension): benchmark protocol power analysis\n"
-            << "(static-analyzer pair, MCC, 40-service workloads, "
-            << kCampaigns << " campaigns per point)\n\n";
-
-  stats::StageTimer timer;
+  out << "E16 (extension): benchmark protocol power analysis\n"
+      << "(static-analyzer pair, MCC, 40-service workloads, " << kCampaigns
+      << " campaigns per point)\n\n";
 
   report::Table table({"runs", "CI width", "power gap=0.02", "power gap=0.05",
                        "power gap=0.10"});
@@ -95,7 +93,7 @@ int main() {
 
   for (const std::size_t runs : run_counts) {
     const auto scope =
-        timer.scope("power grid R=" + std::to_string(runs));
+        ctx.timer.scope("power grid R=" + std::to_string(runs));
     std::vector<std::string> powers;
     double ci_width = 0.0;
     for (std::size_t g = 0; g < gaps.size(); ++g) {
@@ -111,18 +109,27 @@ int main() {
     table.add_row(std::move(row));
   }
   {
-    const auto scope = timer.scope("render");
-    table.print(std::cout);
-    std::cout << "\n";
+    const auto scope = ctx.timer.scope("render");
+    table.print(out);
+    out << "\n";
     for (auto& s : series) chart.add_series(std::move(s));
-    chart.print(std::cout);
+    chart.print(out);
   }
 
-  std::cout << "\nShape check: power rises with both runs and the true "
-               "gap; a 0.10 quality gap is reliably resolvable with a "
-               "handful of runs while a 0.02 gap stays underpowered even "
-               "at 32 runs — benchmark reports should state their "
-               "protocol's resolving power.\n";
-  bench::emit_stage_timings(timer, "e16_power", std::cout);
-  return 0;
+  out << "\nShape check: power rises with both runs and the true "
+         "gap; a 0.10 quality gap is reliably resolvable with a "
+         "handful of runs while a 0.02 gap stays underpowered even "
+         "at 32 runs — benchmark reports should state their "
+         "protocol's resolving power.\n";
 }
+
+}  // namespace
+
+void register_e16(cli::ExperimentRegistry& registry) {
+  registry.add({"e16", "benchmark protocol power analysis",
+                "power{campaigns=" + std::to_string(kCampaigns) +
+                    ";runs=3-32;gaps=0.02,0.05,0.10;services=40;boot=200}",
+                true, run});
+}
+
+}  // namespace vdbench::bench

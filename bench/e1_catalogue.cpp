@@ -3,51 +3,60 @@
 // two domain-critical structural attributes (prevalence invariance and the
 // need for an imposed TN frame).
 #include <cmath>
-#include <iostream>
 
 #include "core/metrics.h"
+#include "experiments.h"
 #include "report/table.h"
 #include "study_common.h"
 
-int main() {
-  using namespace vdbench;
+namespace vdbench::bench {
 
-  std::cout << "E1: metric catalogue for vulnerability detection "
-               "benchmarking ("
-            << core::kMetricCount << " metrics)\n\n";
-  stats::StageTimer timer;
-  {
-    const auto scope = timer.scope("catalogue");
-    report::Table table({"key", "name", "formula", "family", "range",
-                         "better", "prev-invariant", "needs TN"});
-    for (const core::MetricId id : core::all_metrics()) {
-      const core::MetricInfo& m = core::metric_info(id);
-      const std::string range =
-          "[" + report::format_value(m.range_lo, 0) + ", " +
-          (std::isinf(m.range_hi) ? "inf"
-                                  : report::format_value(m.range_hi, 0)) +
-          "]";
-      table.add_row({std::string(m.key), std::string(m.name),
-                     std::string(m.formula),
-                     std::string(core::category_name(m.category)), range,
-                     std::string(core::direction_name(m.direction)),
-                     m.prevalence_invariant ? "yes" : "no",
-                     m.needs_tn ? "yes" : "no"});
-    }
-    table.print(std::cout);
+namespace {
 
-    std::size_t invariant = 0, needs_tn = 0;
-    for (const core::MetricId id : core::all_metrics()) {
-      invariant += core::metric_info(id).prevalence_invariant ? 1 : 0;
-      needs_tn += core::metric_info(id).needs_tn ? 1 : 0;
-    }
-    std::cout << "\n" << invariant << "/" << core::kMetricCount
-              << " metrics are prevalence-invariant; " << needs_tn << "/"
-              << core::kMetricCount
-              << " require a true-negative frame, which vulnerability "
-                 "detection must impose artificially (candidate analysis "
-                 "sites).\n";
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
+  out << "E1: metric catalogue for vulnerability detection "
+         "benchmarking ("
+      << core::kMetricCount << " metrics)\n\n";
+  const auto scope = ctx.timer.scope("catalogue");
+  report::Table table({"key", "name", "formula", "family", "range",
+                       "better", "prev-invariant", "needs TN"});
+  for (const core::MetricId id : core::all_metrics()) {
+    const core::MetricInfo& m = core::metric_info(id);
+    const std::string range =
+        "[" + report::format_value(m.range_lo, 0) + ", " +
+        (std::isinf(m.range_hi) ? "inf"
+                                : report::format_value(m.range_hi, 0)) +
+        "]";
+    table.add_row({std::string(m.key), std::string(m.name),
+                   std::string(m.formula),
+                   std::string(core::category_name(m.category)), range,
+                   std::string(core::direction_name(m.direction)),
+                   m.prevalence_invariant ? "yes" : "no",
+                   m.needs_tn ? "yes" : "no"});
   }
-  bench::emit_stage_timings(timer, "e1_catalogue", std::cout);
-  return 0;
+  table.print(out);
+
+  std::size_t invariant = 0, needs_tn = 0;
+  for (const core::MetricId id : core::all_metrics()) {
+    invariant += core::metric_info(id).prevalence_invariant ? 1 : 0;
+    needs_tn += core::metric_info(id).needs_tn ? 1 : 0;
+  }
+  out << "\n" << invariant << "/" << core::kMetricCount
+      << " metrics are prevalence-invariant; " << needs_tn << "/"
+      << core::kMetricCount
+      << " require a true-negative frame, which vulnerability "
+         "detection must impose artificially (candidate analysis "
+         "sites).\n";
 }
+
+}  // namespace
+
+void register_e1(cli::ExperimentRegistry& registry) {
+  registry.add({"e1", "metric catalogue table",
+                "catalogue{metrics=" + std::to_string(core::kMetricCount) +
+                    "}",
+                true, run});
+}
+
+}  // namespace vdbench::bench

@@ -1,26 +1,26 @@
 // E2 — the metric-properties assessment matrix: every catalogue metric
 // scored against the characteristics of a good vulnerability-detection
 // metric (stage 1 of the study). Scores in [0,1]; higher is better.
-#include <iostream>
-
+#include "experiments.h"
 #include "report/table.h"
 #include "study_common.h"
 
-int main() {
-  using namespace vdbench;
+namespace vdbench::bench {
 
-  std::cout << "E2: empirical assessment of metric properties\n"
-            << "(trials=" << bench::full_assessment_config().trials
-            << ", benchmark size="
-            << bench::full_assessment_config().benchmark_items
-            << " sites, base prevalence="
-            << bench::full_assessment_config().base_prevalence << ")\n\n";
+namespace {
 
-  stats::StageTimer timer;
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
+  out << "E2: empirical assessment of metric properties\n"
+      << "(trials=" << full_assessment_config().trials
+      << ", benchmark size=" << full_assessment_config().benchmark_items
+      << " sites, base prevalence="
+      << full_assessment_config().base_prevalence << ")\n\n";
+
   std::vector<core::MetricAssessment> assessments;
   {
-    const auto scope = timer.scope("stage 1 assessment");
-    assessments = bench::run_stage1();
+    const auto scope = ctx.timer.scope("stage 1 assessment");
+    assessments = run_stage1();
   }
 
   std::vector<std::string> headers = {"metric"};
@@ -41,14 +41,21 @@ int main() {
         sum / static_cast<double>(core::kPropertyCount), 2));
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
+  table.print(out);
 
-  std::cout << "\nReading: 'prevalence robustness' separates the metrics "
-               "whose values transfer across workloads (recall, "
-               "informedness, balanced accuracy) from those that do not "
-               "(precision, accuracy, MCC, kappa); 'definedness' penalises "
-               "ratio metrics that blow up on small or degenerate "
-               "benchmarks (likelihood ratios, DOR).\n";
-  bench::emit_stage_timings(timer, "e2_properties", std::cout);
-  return 0;
+  out << "\nReading: 'prevalence robustness' separates the metrics "
+         "whose values transfer across workloads (recall, "
+         "informedness, balanced accuracy) from those that do not "
+         "(precision, accuracy, MCC, kappa); 'definedness' penalises "
+         "ratio metrics that blow up on small or degenerate "
+         "benchmarks (likelihood ratios, DOR).\n";
 }
+
+}  // namespace
+
+void register_e2(cli::ExperimentRegistry& registry) {
+  registry.add({"e2", "metric-properties assessment matrix (stage 1)",
+                stage1_fingerprint(), true, run});
+}
+
+}  // namespace vdbench::bench

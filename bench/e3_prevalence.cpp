@@ -2,39 +2,42 @@
 // that differ only in prevalence. Non-invariant metrics (accuracy,
 // precision, F1, MCC) drift; invariant ones (recall, informedness) stay
 // flat — the reason cross-workload comparisons need invariant metrics.
-#include <iostream>
-
+#include "experiments.h"
 #include "report/chart.h"
 #include "report/table.h"
 #include "study_common.h"
 #include "vdsim/campaign.h"
 
-int main() {
-  using namespace vdbench;
+namespace vdbench::bench {
 
-  const std::vector<double> grid = {0.005, 0.01, 0.02, 0.05,
-                                    0.10,  0.20, 0.35, 0.50};
+namespace {
+
+const std::vector<double> kGrid = {0.005, 0.01, 0.02, 0.05,
+                                   0.10,  0.20, 0.35, 0.50};
+constexpr std::size_t kServices = 2000;  // large corpus -> low sampling noise
+
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
   const std::vector<core::MetricId> metrics = {
       core::MetricId::kAccuracy,     core::MetricId::kPrecision,
       core::MetricId::kFMeasure,     core::MetricId::kMcc,
       core::MetricId::kRecall,       core::MetricId::kInformedness};
 
   vdsim::WorkloadSpec spec;
-  spec.num_services = 2000;  // large corpus -> low sampling noise
+  spec.num_services = kServices;
   const vdsim::ToolProfile tool = vdsim::make_archetype_profile(
       vdsim::ToolArchetype::kStaticAnalyzer, 0.7, "probe");
 
-  std::cout << "E3: metric value vs workload prevalence for a fixed tool\n"
-            << "(tool: static analyzer, quality 0.7; "
-            << spec.num_services << " services per point)\n\n";
+  out << "E3: metric value vs workload prevalence for a fixed tool\n"
+      << "(tool: static analyzer, quality 0.7; " << spec.num_services
+      << " services per point)\n\n";
 
-  stats::StageTimer timer;
-  stats::Rng rng(bench::kStudySeed);
+  stats::Rng rng(kStudySeed);
   std::vector<vdsim::PrevalencePoint> points;
   {
-    const auto scope = timer.scope("prevalence sweep");
+    const auto scope = ctx.timer.scope("prevalence sweep");
     points =
-        prevalence_sweep(tool, spec, grid, metrics, vdsim::CostModel{}, rng);
+        prevalence_sweep(tool, spec, kGrid, metrics, vdsim::CostModel{}, rng);
   }
 
   std::vector<std::string> headers = {"prevalence"};
@@ -47,8 +50,8 @@ int main() {
       row.push_back(report::format_value(v));
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
-  std::cout << "\n";
+  table.print(out);
+  out << "\n";
 
   report::LineChart chart("E3 figure: metric value vs prevalence (log x)",
                           "prevalence", "metric value");
@@ -63,12 +66,23 @@ int main() {
     }
     chart.add_series(std::move(s));
   }
-  chart.print(std::cout);
+  chart.print(out);
 
-  std::cout << "\nShape check: accuracy converges to (1 - fallout) as "
-               "prevalence -> 0 regardless of detection power; precision "
-               "and MCC collapse at low prevalence; recall and informedness "
-               "are flat.\n";
-  bench::emit_stage_timings(timer, "e3_prevalence", std::cout);
-  return 0;
+  out << "\nShape check: accuracy converges to (1 - fallout) as "
+         "prevalence -> 0 regardless of detection power; precision "
+         "and MCC collapse at low prevalence; recall and informedness "
+         "are flat.\n";
 }
+
+}  // namespace
+
+void register_e3(cli::ExperimentRegistry& registry) {
+  std::string grid;
+  for (const double p : kGrid) grid += std::to_string(p) + ",";
+  registry.add({"e3", "metric value vs prevalence figure",
+                "prevalence{services=" + std::to_string(kServices) +
+                    ";quality=0.7;grid=" + grid + "}",
+                true, run});
+}
+
+}  // namespace vdbench::bench

@@ -3,16 +3,20 @@
 // first, as a function of the quality gap between them. Run at moderate
 // (10%) and extreme (1%) prevalence to show how imbalance destroys the
 // discrimination of non-robust metrics.
-#include <iostream>
+#include <cmath>
 
 #include "core/sampling.h"
+#include "experiments.h"
 #include "report/chart.h"
 #include "report/table.h"
 #include "study_common.h"
 
+namespace vdbench::bench {
+
 namespace {
 
-using namespace vdbench;
+constexpr std::size_t kTrials = 1200;
+constexpr std::uint64_t kItems = 500;
 
 double discrimination_at(core::MetricId id, double gap, double prevalence,
                          std::uint64_t items, std::size_t trials,
@@ -43,24 +47,20 @@ double discrimination_at(core::MetricId id, double gap, double prevalence,
   return score / static_cast<double>(trials);
 }
 
-}  // namespace
-
-int main() {
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
   const std::vector<double> gaps = {0.01, 0.02, 0.04, 0.08, 0.12, 0.20};
   const std::vector<core::MetricId> metrics = {
       core::MetricId::kAccuracy, core::MetricId::kPrecision,
       core::MetricId::kRecall,   core::MetricId::kFMeasure,
       core::MetricId::kMcc,      core::MetricId::kInformedness};
-  constexpr std::size_t kTrials = 1200;
-  constexpr std::uint64_t kItems = 500;
 
-  vdbench::stats::StageTimer timer;
   for (const double prevalence : {0.10, 0.01}) {
-    const auto scope = timer.scope(
+    const auto scope = ctx.timer.scope(
         "grid prevalence=" + report::format_percent(prevalence));
-    std::cout << "E4: P(correct tool ordering) vs quality gap, prevalence "
-              << report::format_percent(prevalence) << " (" << kItems
-              << "-site benchmarks, " << kTrials << " trials/point)\n\n";
+    out << "E4: P(correct tool ordering) vs quality gap, prevalence "
+        << report::format_percent(prevalence) << " (" << kItems
+        << "-site benchmarks, " << kTrials << " trials/point)\n\n";
     std::vector<std::string> headers = {"gap"};
     for (const core::MetricId id : metrics)
       headers.push_back(std::string(core::metric_info(id).key));
@@ -78,7 +78,7 @@ int main() {
     for (const double gap : gaps) {
       std::vector<std::string> row = {report::format_value(gap, 2)};
       for (std::size_t m = 0; m < metrics.size(); ++m) {
-        stats::Rng rng = stats::Rng(bench::kStudySeed)
+        stats::Rng rng = stats::Rng(kStudySeed)
                              .split(static_cast<std::uint64_t>(gap * 1000))
                              .split(static_cast<std::uint64_t>(metrics[m]))
                              .split(static_cast<std::uint64_t>(
@@ -91,20 +91,30 @@ int main() {
       }
       table.add_row(std::move(row));
     }
-    table.print(std::cout);
-    std::cout << "\n";
+    table.print(out);
+    out << "\n";
     for (auto& s : series) chart.add_series(std::move(s));
-    chart.print(std::cout);
-    std::cout << "\n";
+    chart.print(out);
+    out << "\n";
   }
-  std::cout << "Shape check: every metric climbs toward 1.0 with the gap at "
-               "10% prevalence. At 1% prevalence the positive-class metrics "
-               "(recall, F1, MCC, informedness) lose discrimination — a "
-               "500-site benchmark holds only ~5 vulnerabilities — while "
-               "accuracy still separates the pairs, but solely through the "
-               "false-alarm dimension: on tools that trade detection power "
-               "for quietness it orders by fallout alone (see E3/E7 for why "
-               "that is misleading).\n";
-  vdbench::bench::emit_stage_timings(timer, "e4_discrimination", std::cout);
-  return 0;
+  out << "Shape check: every metric climbs toward 1.0 with the gap at "
+         "10% prevalence. At 1% prevalence the positive-class metrics "
+         "(recall, F1, MCC, informedness) lose discrimination — a "
+         "500-site benchmark holds only ~5 vulnerabilities — while "
+         "accuracy still separates the pairs, but solely through the "
+         "false-alarm dimension: on tools that trade detection power "
+         "for quietness it orders by fallout alone (see E3/E7 for why "
+         "that is misleading).\n";
 }
+
+}  // namespace
+
+void register_e4(cli::ExperimentRegistry& registry) {
+  registry.add({"e4", "discriminative power vs quality gap figure",
+                "discrimination{trials=" + std::to_string(kTrials) +
+                    ";items=" + std::to_string(kItems) +
+                    ";prevalences=0.10,0.01}",
+                true, run});
+}
+
+}  // namespace vdbench::bench

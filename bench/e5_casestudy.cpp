@@ -1,36 +1,40 @@
 // E5 — case-study table: the six built-in simulated tools benchmarked on a
 // web-service corpus; full confusion counts, all headline metrics, and the
 // rank each metric assigns — showing rank disagreements concretely.
-#include <iostream>
-
+#include "experiments.h"
 #include "report/table.h"
 #include "study_common.h"
 #include "vdsim/campaign.h"
 
-int main() {
-  using namespace vdbench;
+namespace vdbench::bench {
 
-  stats::StageTimer timer;
+namespace {
+
+constexpr std::size_t kServices = 400;
+constexpr double kPrevalence = 0.12;
+
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
   vdsim::WorkloadSpec spec;
-  spec.num_services = 400;
-  spec.prevalence = 0.12;
-  stats::Rng wrng(bench::kStudySeed);
+  spec.num_services = kServices;
+  spec.prevalence = kPrevalence;
+  stats::Rng wrng(kStudySeed);
   const vdsim::Workload workload = [&] {
-    const auto scope = timer.scope("generate workload");
+    const auto scope = ctx.timer.scope("generate workload");
     return generate_workload(spec, wrng);
   }();
 
-  std::cout << "E5: case study — " << vdsim::builtin_tools().size()
-            << " simulated tools on a web-service corpus\n"
-            << "(" << workload.services().size() << " services, "
-            << workload.total_sites() << " candidate sites, "
-            << workload.total_vulns() << " seeded vulnerabilities, "
-            << report::format_value(workload.total_kloc(), 0)
-            << " kLoC; cost model FN:FP = 10:1)\n\n";
+  out << "E5: case study — " << vdsim::builtin_tools().size()
+      << " simulated tools on a web-service corpus\n"
+      << "(" << workload.services().size() << " services, "
+      << workload.total_sites() << " candidate sites, "
+      << workload.total_vulns() << " seeded vulnerabilities, "
+      << report::format_value(workload.total_kloc(), 0)
+      << " kLoC; cost model FN:FP = 10:1)\n\n";
 
-  stats::Rng rng(bench::kStudySeed + 1);
+  stats::Rng rng(kStudySeed + 1);
   const auto results = [&] {
-    const auto scope = timer.scope("benchmark tools");
+    const auto scope = ctx.timer.scope("benchmark tools");
     return run_benchmarks(vdsim::builtin_tools(), workload,
                           vdsim::CostModel{10.0, 1.0}, rng);
   }();
@@ -44,8 +48,8 @@ int main() {
                        std::to_string(r.duplicate_findings),
                        report::format_value(r.context.analysis_seconds, 0)});
   }
-  confusion.print(std::cout);
-  std::cout << "\n";
+  confusion.print(out);
+  out << "\n";
 
   const std::vector<core::MetricId> shown = {
       core::MetricId::kRecall,  core::MetricId::kPrecision,
@@ -63,8 +67,8 @@ int main() {
       row.push_back(report::format_value(r.metric(id)));
     values.add_row(std::move(row));
   }
-  values.print(std::cout);
-  std::cout << "\n";
+  values.print(out);
+  out << "\n";
 
   // Rank table: position of each tool under each metric.
   std::vector<std::string> rank_headers = {"tool"};
@@ -85,12 +89,22 @@ int main() {
       row.push_back(std::to_string(positions[m][t]));
     ranks.add_row(std::move(row));
   }
-  ranks.print(std::cout);
+  ranks.print(out);
 
-  std::cout << "\nShape check: no single tool is ranked first by every "
-               "metric; recall favours the noisy high-coverage analyzer, "
-               "precision the conservative fuzzer, and the cost metric's "
-               "winner depends on the 10:1 cost model.\n";
-  bench::emit_stage_timings(timer, "e5_casestudy", std::cout);
-  return 0;
+  out << "\nShape check: no single tool is ranked first by every "
+         "metric; recall favours the noisy high-coverage analyzer, "
+         "precision the conservative fuzzer, and the cost metric's "
+         "winner depends on the 10:1 cost model.\n";
 }
+
+}  // namespace
+
+void register_e5(cli::ExperimentRegistry& registry) {
+  registry.add({"e5", "case-study table on a web-service corpus",
+                "casestudy{services=" + std::to_string(kServices) +
+                    ";prev=" + std::to_string(kPrevalence) +
+                    ";costs=10:1}",
+                true, run});
+}
+
+}  // namespace vdbench::bench

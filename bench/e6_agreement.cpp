@@ -2,16 +2,21 @@
 // induced by each pair of metrics, averaged over many random tool
 // populations. Low off-diagonal values are the quantitative core of the
 // paper's argument: metrics are NOT interchangeable.
-#include <iostream>
-
+#include "experiments.h"
 #include "report/chart.h"
 #include "report/table.h"
 #include "study_common.h"
 #include "vdsim/campaign.h"
 
-int main() {
-  using namespace vdbench;
+namespace vdbench::bench {
 
+namespace {
+
+constexpr std::size_t kPopulations = 300;
+constexpr std::size_t kToolsPerPopulation = 8;
+
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
   const std::vector<core::MetricId> metrics = {
       core::MetricId::kRecall,       core::MetricId::kPrecision,
       core::MetricId::kFMeasure,     core::MetricId::kAccuracy,
@@ -22,18 +27,15 @@ int main() {
   vdsim::WorkloadSpec spec;
   spec.num_services = 120;
   spec.prevalence = 0.10;
-  constexpr std::size_t kPopulations = 300;
-  constexpr std::size_t kToolsPerPopulation = 8;
 
-  std::cout << "E6: pairwise Kendall tau-b between metric-induced tool "
-               "rankings\n("
-            << kPopulations << " random tool populations x "
-            << kToolsPerPopulation << " tools, cost model FN:FP = 10:1)\n\n";
+  out << "E6: pairwise Kendall tau-b between metric-induced tool "
+         "rankings\n("
+      << kPopulations << " random tool populations x "
+      << kToolsPerPopulation << " tools, cost model FN:FP = 10:1)\n\n";
 
-  stats::StageTimer timer;
-  stats::Rng rng(bench::kStudySeed);
+  stats::Rng rng(kStudySeed);
   const vdsim::AgreementMatrix agreement = [&] {
-    const auto scope = timer.scope("agreement matrix");
+    const auto scope = ctx.timer.scope("agreement matrix");
     return metric_agreement(metrics, spec, kPopulations, kToolsPerPopulation,
                             vdsim::CostModel{10.0, 1.0}, rng);
   }();
@@ -54,17 +56,27 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
-  std::cout << "\n";
+  table.print(out);
+  out << "\n";
 
   report::Heatmap heatmap("E6 figure: ranking agreement heatmap (tau-b)",
                           labels, labels, values);
   heatmap.set_range(0.0, 1.0);
-  heatmap.print(std::cout);
+  heatmap.print(out);
 
-  std::cout << "\nShape check: the F1/MCC/markedness block agrees strongly; "
-               "recall vs precision is the weakest pair; the cost-based "
-               "metric sides with recall under the miss-heavy cost model.\n";
-  bench::emit_stage_timings(timer, "e6_agreement", std::cout);
-  return 0;
+  out << "\nShape check: the F1/MCC/markedness block agrees strongly; "
+         "recall vs precision is the weakest pair; the cost-based "
+         "metric sides with recall under the miss-heavy cost model.\n";
 }
+
+}  // namespace
+
+void register_e6(cli::ExperimentRegistry& registry) {
+  registry.add({"e6", "pairwise ranking-agreement heatmap",
+                "agreement{populations=" + std::to_string(kPopulations) +
+                    ";tools=" + std::to_string(kToolsPerPopulation) +
+                    ";services=120;prev=0.10;costs=10:1}",
+                true, run});
+}
+
+}  // namespace vdbench::bench

@@ -3,40 +3,41 @@
 // metric's fidelity (probability of ordering two genuinely different tools
 // correctly from one benchmark run), and the top-5 blended recommendation.
 #include <algorithm>
-#include <iostream>
 
+#include "experiments.h"
 #include "report/table.h"
 #include "study_common.h"
 
-int main() {
-  using namespace vdbench;
+namespace vdbench::bench {
 
-  stats::StageTimer timer;
+namespace {
+
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
   const auto assessments = [&] {
-    const auto scope = timer.scope("stage 1 assessment");
-    return bench::run_stage1();
+    const auto scope = ctx.timer.scope("stage 1 assessment");
+    return run_stage1();
   }();
-  const auto metrics = core::ranking_metrics();
   const core::MetricSelector selector;
 
-  std::cout << "E7: scenario analysis — metric effectiveness and selection\n"
-            << "(pair trials=" << bench::full_analyzer_config().pair_trials
-            << " per scenario; overall = 0.7*fidelity + 0.3*weighted "
-               "property score)\n\n";
+  out << "E7: scenario analysis — metric effectiveness and selection\n"
+      << "(pair trials=" << full_analyzer_config().pair_trials
+      << " per scenario; overall = 0.7*fidelity + 0.3*weighted "
+         "property score)\n\n";
 
   report::Table summary({"scenario", "cost FN:FP", "prevalence",
                          "best metric", "runner-up", "third"});
 
   for (const core::Scenario& scenario : core::builtin_scenarios()) {
     const auto effectiveness = [&] {
-      const auto scope = timer.scope("stage 2: " + scenario.key);
-      return bench::run_stage2(scenario);
+      const auto scope = ctx.timer.scope("stage 2: " + scenario.key);
+      return run_stage2(scenario);
     }();
     const core::ScenarioRecommendation rec =
         selector.recommend(scenario, assessments, effectiveness);
 
-    std::cout << "--- " << scenario.key << ": " << scenario.name << "\n"
-              << scenario.description << "\n";
+    out << "--- " << scenario.key << ": " << scenario.name << "\n"
+        << scenario.description << "\n";
     report::Table table({"rank", "metric", "overall", "fidelity",
                          "undef-rate", "property score"});
     for (std::size_t i = 0; i < 10 && i < rec.ranked.size(); ++i) {
@@ -53,15 +54,15 @@ int main() {
                      report::format_percent(eff_it->undefined_rate),
                      report::format_value(r.property_score)});
     }
-    table.print(std::cout);
+    table.print(out);
     // Where the traditional metrics landed.
-    std::cout << "traditional metrics: precision rank "
-              << rec.rank_of(core::MetricId::kPrecision) + 1 << "/"
-              << rec.ranked.size() << ", recall rank "
-              << rec.rank_of(core::MetricId::kRecall) + 1 << "/"
-              << rec.ranked.size() << ", accuracy rank "
-              << rec.rank_of(core::MetricId::kAccuracy) + 1 << "/"
-              << rec.ranked.size() << "\n\n";
+    out << "traditional metrics: precision rank "
+        << rec.rank_of(core::MetricId::kPrecision) + 1 << "/"
+        << rec.ranked.size() << ", recall rank "
+        << rec.rank_of(core::MetricId::kRecall) + 1 << "/"
+        << rec.ranked.size() << ", accuracy rank "
+        << rec.rank_of(core::MetricId::kAccuracy) + 1 << "/"
+        << rec.ranked.size() << "\n\n";
 
     summary.add_row(
         {scenario.key,
@@ -73,12 +74,19 @@ int main() {
          std::string(core::metric_info(rec.ranked[2].metric).key)});
   }
 
-  std::cout << "=== summary: recommended metric per scenario\n";
-  summary.print(std::cout);
-  std::cout << "\nHeadline check (paper abstract): traditional metrics are "
-               "adequate in some scenarios only; imbalanced and "
-               "cost-asymmetric scenarios require seldom-used alternatives "
-               "(cost-based metrics, informedness/MCC family).\n";
-  bench::emit_stage_timings(timer, "e7_scenarios", std::cout);
-  return 0;
+  out << "=== summary: recommended metric per scenario\n";
+  summary.print(out);
+  out << "\nHeadline check (paper abstract): traditional metrics are "
+         "adequate in some scenarios only; imbalanced and "
+         "cost-asymmetric scenarios require seldom-used alternatives "
+         "(cost-based metrics, informedness/MCC family).\n";
 }
+
+}  // namespace
+
+void register_e7(cli::ExperimentRegistry& registry) {
+  registry.add({"e7", "per-scenario effectiveness and selection (stage 2)",
+                stage1_fingerprint() + stage2_fingerprint(), true, run});
+}
+
+}  // namespace vdbench::bench

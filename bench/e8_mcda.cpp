@@ -1,28 +1,29 @@
 // E8 — MCDA validation table (stage 3): per scenario, the simulated expert
 // panel's AHP criteria weights and consistency, and the agreement between
 // the MCDA ranking and the analytical selection.
-#include <iostream>
-
 #include "core/validation.h"
+#include "experiments.h"
 #include "report/table.h"
 #include "stats/rank.h"
 #include "study_common.h"
 
-int main() {
-  using namespace vdbench;
+namespace vdbench::bench {
 
-  stats::StageTimer timer;
+namespace {
+
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
   const auto assessments = [&] {
-    const auto scope = timer.scope("stage 1 assessment");
-    return bench::run_stage1();
+    const auto scope = ctx.timer.scope("stage 1 assessment");
+    return run_stage1();
   }();
   core::ValidationConfig vcfg;  // 7 experts, noise 0.15, spread 0.20
   const core::McdaValidator validator(vcfg);
 
-  std::cout << "E8: MCDA validation of the analytical metric selection\n"
-            << "(" << vcfg.expert_count << " simulated experts, judgment "
-            << "noise " << vcfg.judgment_noise << ", persona spread "
-            << vcfg.persona_spread << ")\n\n";
+  out << "E8: MCDA validation of the analytical metric selection\n"
+      << "(" << vcfg.expert_count << " simulated experts, judgment "
+      << "noise " << vcfg.judgment_noise << ", persona spread "
+      << vcfg.persona_spread << ")\n\n";
 
   report::Table summary({"scenario", "panel CR", "mean expert CR",
                          "MCDA top metric", "analytical top", "same top",
@@ -30,51 +31,63 @@ int main() {
 
   for (const core::Scenario& scenario : core::builtin_scenarios()) {
     const auto effectiveness = [&] {
-      const auto scope = timer.scope("stage 2 + validation");
-      return bench::run_stage2(scenario);
+      const auto scope = ctx.timer.scope("stage 2 + validation");
+      return run_stage2(scenario);
     }();
-    stats::Rng rng = stats::Rng(bench::kStudySeed + 8)
+    stats::Rng rng = stats::Rng(kStudySeed + 8)
                          .split(std::hash<std::string>{}(scenario.key));
-    const core::ValidationOutcome out =
+    const core::ValidationOutcome val =
         validator.validate(scenario, assessments, effectiveness, rng);
 
     double mean_cr = 0.0;
-    for (const double cr : out.expert_consistency_ratios) mean_cr += cr;
-    mean_cr /= static_cast<double>(out.expert_consistency_ratios.size());
+    for (const double cr : val.expert_consistency_ratios) mean_cr += cr;
+    mean_cr /= static_cast<double>(val.expert_consistency_ratios.size());
 
     summary.add_row(
-        {scenario.key, report::format_value(out.ahp.consistency_ratio),
+        {scenario.key, report::format_value(val.ahp.consistency_ratio),
          report::format_value(mean_cr),
-         std::string(core::metric_info(out.mcda_top).key),
-         std::string(core::metric_info(out.analytical_top).key),
-         out.same_top ? "yes" : "no",
-         report::format_value(out.kendall_agreement),
-         report::format_percent(out.top3_overlap)});
+         std::string(core::metric_info(val.mcda_top).key),
+         std::string(core::metric_info(val.analytical_top).key),
+         val.same_top ? "yes" : "no",
+         report::format_value(val.kendall_agreement),
+         report::format_percent(val.top3_overlap)});
 
     // Detailed weights for the first scenario as the worked example.
     if (scenario.key == "s1_critical") {
-      std::cout << "worked example — " << scenario.key
-                << " AHP criteria weights:\n";
+      out << "worked example — " << scenario.key
+          << " AHP criteria weights:\n";
       report::Table weights({"criterion", "latent (scenario)", "AHP weight"});
       for (std::size_t c = 0; c < core::kPropertyCount; ++c)
         weights.add_row(
             {std::string(core::property_name(core::all_properties()[c])),
              report::format_value(scenario.property_weights[c]),
-             report::format_value(out.ahp.weights[c])});
+             report::format_value(val.ahp.weights[c])});
       weights.add_row({"scenario fit", report::format_value(
                                            vcfg.fit_criterion_weight),
                        report::format_value(
-                           out.ahp.weights[core::kPropertyCount])});
-      weights.print(std::cout);
-      std::cout << "\n";
+                           val.ahp.weights[core::kPropertyCount])});
+      weights.print(out);
+      out << "\n";
     }
   }
 
-  summary.print(std::cout);
-  std::cout << "\nShape check: every panel consistency ratio is below the "
-               "0.10 acceptance threshold, and the MCDA ranking agrees "
-               "with the analytical selection (positive tau, shared top "
-               "choices) — the paper's validation conclusion.\n";
-  bench::emit_stage_timings(timer, "e8_mcda", std::cout);
-  return 0;
+  summary.print(out);
+  out << "\nShape check: every panel consistency ratio is below the "
+         "0.10 acceptance threshold, and the MCDA ranking agrees "
+         "with the analytical selection (positive tau, shared top "
+         "choices) — the paper's validation conclusion.\n";
 }
+
+}  // namespace
+
+void register_e8(cli::ExperimentRegistry& registry) {
+  const core::ValidationConfig vcfg;
+  registry.add({"e8", "MCDA validation table (stage 3)",
+                stage1_fingerprint() + stage2_fingerprint() +
+                    "validation{experts=" + std::to_string(vcfg.expert_count) +
+                    ";noise=" + std::to_string(vcfg.judgment_noise) +
+                    ";spread=" + std::to_string(vcfg.persona_spread) + "}",
+                true, run});
+}
+
+}  // namespace vdbench::bench

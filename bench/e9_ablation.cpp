@@ -5,52 +5,53 @@
 //       panel weights — does the method choice change the conclusion?
 //   (c) selector-blend ablation: how the analytical top choice moves as the
 //       effectiveness/property blend shifts.
-#include <iostream>
-
 #include "core/validation.h"
+#include "experiments.h"
 #include "report/chart.h"
 #include "report/table.h"
 #include "stats/rank.h"
 #include "study_common.h"
 
-int main() {
-  using namespace vdbench;
+namespace vdbench::bench {
 
-  stats::StageTimer timer;
+namespace {
+
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
   const auto assessments = [&] {
-    const auto scope = timer.scope("stage 1 assessment");
-    return bench::run_stage1();
+    const auto scope = ctx.timer.scope("stage 1 assessment");
+    return run_stage1();
   }();
   const core::Scenario& scenario = core::builtin_scenario("s1_critical");
   const auto effectiveness = [&] {
-    const auto scope = timer.scope("stage 2: s1_critical");
-    return bench::run_stage2(scenario);
+    const auto scope = ctx.timer.scope("stage 2: s1_critical");
+    return run_stage2(scenario);
   }();
 
   // (a) noise sweep, averaged over repeated panels.
-  std::cout << "E9a: expert-noise ablation on " << scenario.key
-            << " (10 panels per point)\n\n";
+  out << "E9a: expert-noise ablation on " << scenario.key
+      << " (10 panels per point)\n\n";
   const std::vector<double> noises = {0.0, 0.1, 0.2, 0.4, 0.6, 0.8};
   report::Table noise_table(
       {"judgment noise", "mean Kendall tau", "mean top-3 overlap",
        "same-top rate", "mean panel CR"});
   report::Series tau_series{"tau", {}, {}};
   for (const double noise : noises) {
-    const auto scope = timer.scope("noise sweep");
+    const auto scope = ctx.timer.scope("noise sweep");
     double tau = 0.0, overlap = 0.0, same = 0.0, cr = 0.0;
     constexpr int kPanels = 10;
     for (int p = 0; p < kPanels; ++p) {
       core::ValidationConfig cfg;
       cfg.judgment_noise = noise;
-      stats::Rng rng = stats::Rng(bench::kStudySeed + 9)
+      stats::Rng rng = stats::Rng(kStudySeed + 9)
                            .split(static_cast<std::uint64_t>(noise * 100))
                            .split(static_cast<std::uint64_t>(p));
-      const core::ValidationOutcome out = core::McdaValidator(cfg).validate(
+      const core::ValidationOutcome val = core::McdaValidator(cfg).validate(
           scenario, assessments, effectiveness, rng);
-      tau += out.kendall_agreement;
-      overlap += out.top3_overlap;
-      same += out.same_top ? 1.0 : 0.0;
-      cr += out.ahp.consistency_ratio;
+      tau += val.kendall_agreement;
+      overlap += val.top3_overlap;
+      same += val.same_top ? 1.0 : 0.0;
+      cr += val.ahp.consistency_ratio;
     }
     noise_table.add_row({report::format_value(noise, 1),
                          report::format_value(tau / kPanels),
@@ -60,40 +61,40 @@ int main() {
     tau_series.x.push_back(noise);
     tau_series.y.push_back(tau / kPanels);
   }
-  noise_table.print(std::cout);
+  noise_table.print(out);
   report::LineChart chart("E9a figure: MCDA/analytical agreement vs noise",
                           "judgment noise", "Kendall tau");
   chart.set_y_range(0.0, 1.0);
   chart.add_series(std::move(tau_series));
-  std::cout << "\n";
-  chart.print(std::cout);
+  out << "\n";
+  chart.print(out);
 
   // (b) method ablation.
-  std::cout << "\nE9b: MCDA-method ablation (same panel weights)\n\n";
+  out << "\nE9b: MCDA-method ablation (same panel weights)\n\n";
   report::Table method_table({"scenario", "tau(AHP,TOPSIS)", "tau(AHP,WSM)",
                               "same top (AHP vs TOPSIS)"});
   const core::McdaValidator validator;  // default config
   for (const core::Scenario& sc : core::builtin_scenarios()) {
-    const auto scope = timer.scope("method ablation");
-    const auto eff = bench::run_stage2(sc);
-    stats::Rng rng = stats::Rng(bench::kStudySeed + 10)
+    const auto scope = ctx.timer.scope("method ablation");
+    const auto eff = run_stage2(sc);
+    stats::Rng rng = stats::Rng(kStudySeed + 10)
                          .split(std::hash<std::string>{}(sc.key));
-    const core::ValidationOutcome out =
+    const core::ValidationOutcome val =
         validator.validate(sc, assessments, eff, rng);
     method_table.add_row(
         {sc.key,
          report::format_value(
-             stats::kendall_tau(out.mcda_scores, out.topsis_scores)),
+             stats::kendall_tau(val.mcda_scores, val.topsis_scores)),
          report::format_value(
-             stats::kendall_tau(out.mcda_scores, out.wsm_scores)),
-         stats::same_top_choice(out.mcda_scores, out.topsis_scores) ? "yes"
+             stats::kendall_tau(val.mcda_scores, val.wsm_scores)),
+         stats::same_top_choice(val.mcda_scores, val.topsis_scores) ? "yes"
                                                                     : "no"});
   }
-  method_table.print(std::cout);
+  method_table.print(out);
 
   // (c) selector blend ablation.
-  std::cout << "\nE9c: analytical-selector blend ablation on "
-            << scenario.key << "\n\n";
+  out << "\nE9c: analytical-selector blend ablation on "
+      << scenario.key << "\n\n";
   report::Table blend_table(
       {"effectiveness weight", "top metric", "second", "third"});
   for (const double w : {0.0, 0.3, 0.5, 0.7, 0.9, 1.0}) {
@@ -109,13 +110,22 @@ int main() {
          std::string(core::metric_info(rec.ranked[1].metric).key),
          std::string(core::metric_info(rec.ranked[2].metric).key)});
   }
-  blend_table.print(std::cout);
+  blend_table.print(out);
 
-  std::cout << "\nShape check: agreement decays smoothly with expert noise "
-               "but stays positive; the three MCDA methods rank the "
-               "alternatives nearly identically (the validation conclusion "
-               "is method-robust); the cost-aware metrics stay on top "
-               "across blend weights.\n";
-  bench::emit_stage_timings(timer, "e9_ablation", std::cout);
-  return 0;
+  out << "\nShape check: agreement decays smoothly with expert noise "
+         "but stays positive; the three MCDA methods rank the "
+         "alternatives nearly identically (the validation conclusion "
+         "is method-robust); the cost-aware metrics stay on top "
+         "across blend weights.\n";
 }
+
+}  // namespace
+
+void register_e9(cli::ExperimentRegistry& registry) {
+  registry.add({"e9", "stage-3 validation ablations (noise, method, blend)",
+                stage1_fingerprint() + stage2_fingerprint() +
+                    "ablation{panels=10;noises=0-0.8;blends=0-1}",
+                true, run});
+}
+
+}  // namespace vdbench::bench

@@ -1,0 +1,35 @@
+// Registration hooks for the study experiments.
+//
+// Each eN translation unit keeps its experiment self-contained (config,
+// title, run function) and exposes exactly one registration hook; the
+// `vdbench` driver — and any test that wants a real experiment — builds a
+// registry via study_registry(). Registration is explicit rather than
+// static-initializer magic so the order is deterministic and nothing
+// depends on which object files the linker decided to keep.
+#pragma once
+
+#include "cli/experiment.h"
+
+namespace vdbench::bench {
+
+void register_e1(cli::ExperimentRegistry& registry);
+void register_e2(cli::ExperimentRegistry& registry);
+void register_e3(cli::ExperimentRegistry& registry);
+void register_e4(cli::ExperimentRegistry& registry);
+void register_e5(cli::ExperimentRegistry& registry);
+void register_e6(cli::ExperimentRegistry& registry);
+void register_e7(cli::ExperimentRegistry& registry);
+void register_e8(cli::ExperimentRegistry& registry);
+void register_e9(cli::ExperimentRegistry& registry);
+void register_e10(cli::ExperimentRegistry& registry);
+void register_e11(cli::ExperimentRegistry& registry);
+void register_e12(cli::ExperimentRegistry& registry);
+void register_e13(cli::ExperimentRegistry& registry);
+void register_e14(cli::ExperimentRegistry& registry);
+void register_e15(cli::ExperimentRegistry& registry);
+void register_e16(cli::ExperimentRegistry& registry);
+
+/// The full study registry, E1–E16 in order.
+[[nodiscard]] cli::ExperimentRegistry study_registry();
+
+}  // namespace vdbench::bench

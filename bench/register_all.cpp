@@ -1,0 +1,26 @@
+#include "experiments.h"
+
+namespace vdbench::bench {
+
+cli::ExperimentRegistry study_registry() {
+  cli::ExperimentRegistry registry;
+  register_e1(registry);
+  register_e2(registry);
+  register_e3(registry);
+  register_e4(registry);
+  register_e5(registry);
+  register_e6(registry);
+  register_e7(registry);
+  register_e8(registry);
+  register_e9(registry);
+  register_e10(registry);
+  register_e11(registry);
+  register_e12(registry);
+  register_e13(registry);
+  register_e14(registry);
+  register_e15(registry);
+  register_e16(registry);
+  return registry;
+}
+
+}  // namespace vdbench::bench

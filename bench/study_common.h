@@ -1,23 +1,20 @@
-// Shared full-size study configuration for the experiment binaries.
+// Shared full-size study configuration for the experiment registry.
 //
-// Every bench binary regenerates one table/figure of the reconstructed
+// Every experiment regenerates one table/figure of the reconstructed
 // DSN'15 evaluation (see DESIGN.md and EXPERIMENTS.md). The trial counts
-// here are the "full-size" ones; the unit tests use reduced copies.
+// here are the "full-size" ones; the unit tests use reduced copies. The
+// fingerprint helpers serialize these configurations for cache
+// addressing — any change to a value here changes the fingerprint and
+// therefore invalidates exactly the cached results it affects.
 #pragma once
 
-#include <cstdlib>
-#include <fstream>
-#include <ostream>
-#include <string_view>
+#include <string>
 #include <vector>
 
 #include "core/properties.h"
 #include "core/scenario.h"
 #include "core/selection.h"
-#include "report/json.h"
-#include "report/table.h"
-#include "stats/parallel.h"
-#include "stats/timer.h"
+#include "stats/rng.h"
 
 namespace vdbench::bench {
 
@@ -41,6 +38,27 @@ inline core::ScenarioAnalyzer::Config full_analyzer_config() {
   return cfg;
 }
 
+/// Cache fingerprint of the stage-1 configuration.
+inline std::string stage1_fingerprint() {
+  const core::AssessmentConfig cfg = full_assessment_config();
+  std::string grid;
+  for (const double p : cfg.prevalence_grid)
+    grid += std::to_string(p) + ",";
+  return "stage1{trials=" + std::to_string(cfg.trials) +
+         ";items=" + std::to_string(cfg.benchmark_items) +
+         ";prev=" + std::to_string(cfg.base_prevalence) +
+         ";asymptotic=" + std::to_string(cfg.asymptotic_items) +
+         ";grid=" + grid + "}";
+}
+
+/// Cache fingerprint of the stage-2 configuration.
+inline std::string stage2_fingerprint() {
+  const core::ScenarioAnalyzer::Config cfg = full_analyzer_config();
+  return "stage2{pairs=" + std::to_string(cfg.pair_trials) +
+         ";gap=" + std::to_string(cfg.min_relative_cost_gap) +
+         ";resamples=" + std::to_string(cfg.max_resamples) + "}";
+}
+
 /// Run stage 1 for the whole catalogue.
 inline std::vector<core::MetricAssessment> run_stage1() {
   stats::Rng rng(kStudySeed);
@@ -54,46 +72,6 @@ inline std::vector<core::EffectivenessResult> run_stage2(
       std::hash<std::string>{}(scenario.key));
   return core::ScenarioAnalyzer(full_analyzer_config())
       .analyze(scenario, core::ranking_metrics(), rng);
-}
-
-/// Print the per-stage wall-clock table every bench binary emits, and —
-/// when the VDBENCH_TIMER_JSON environment variable names a file — append
-/// one JSON line with the same data (used to assemble BENCH_*.json
-/// perf baselines). Timings are observational only; recorded experiment
-/// results stay deterministic and thread-count-invariant.
-inline void emit_stage_timings(const stats::StageTimer& timer,
-                               std::string_view bench_name,
-                               std::ostream& os) {
-  const std::size_t threads = stats::global_executor().thread_count();
-  const double total = timer.total_seconds();
-  report::Table table({"stage", "seconds", "share"});
-  for (const stats::StageTimer::Stage& stage : timer.stages())
-    table.add_row({stage.label, report::format_value(stage.seconds, 3),
-                   report::format_percent(
-                       total == 0.0 ? 0.0 : stage.seconds / total, 1)});
-  table.add_row({"total", report::format_value(total, 3),
-                 report::format_percent(total == 0.0 ? 0.0 : 1.0, 1)});
-  os << "\nstage timings (threads=" << threads << "):\n";
-  table.print(os);
-
-  const char* path = std::getenv("VDBENCH_TIMER_JSON");
-  if (path == nullptr || *path == '\0') return;
-  report::JsonWriter json;
-  json.begin_object();
-  json.field("bench", bench_name);
-  json.field("threads", static_cast<std::uint64_t>(threads));
-  json.key("stages").begin_array();
-  for (const stats::StageTimer::Stage& stage : timer.stages()) {
-    json.begin_object();
-    json.field("label", stage.label);
-    json.field("seconds", stage.seconds);
-    json.field("calls", static_cast<std::uint64_t>(stage.calls));
-    json.end_object();
-  }
-  json.end_array();
-  json.field("total_seconds", total);
-  json.end_object();
-  if (std::ofstream out(path, std::ios::app); out) out << json.str() << "\n";
 }
 
 }  // namespace vdbench::bench

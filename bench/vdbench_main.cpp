@@ -1,0 +1,13 @@
+// The unified study runner: `vdbench --experiments e2,e6,e13` runs any
+// subset of E1–E16 through the content-addressed result cache. See
+// cli/driver.h for the orchestration and README.md for usage.
+#include "experiments.h"
+#include "cli/driver.h"
+#include "study_common.h"
+
+int main(int argc, char** argv) {
+  const vdbench::cli::ExperimentRegistry registry =
+      vdbench::bench::study_registry();
+  return vdbench::cli::vdbench_main(argc, argv, registry,
+                                    vdbench::bench::kStudySeed);
+}

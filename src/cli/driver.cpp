@@ -1,0 +1,536 @@
+#include "cli/driver.h"
+
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "report/json.h"
+#include "report/json_reader.h"
+#include "report/table.h"
+#include "stats/env.h"
+#include "stats/parallel.h"
+
+namespace vdbench::cli {
+
+namespace {
+
+constexpr std::string_view kUsage =
+    R"(usage: vdbench [options]
+
+Runs the reconstructed DSN'15 study experiments through the on-disk result
+cache: unchanged experiments are served from disk, the rest compute on the
+deterministic parallel engine and are persisted for next time.
+
+options:
+  --experiments LIST   comma-separated ids (e.g. e2,e6,e13) or "all"
+                       (default: all cacheable experiments)
+  --threads N          worker count for the parallel engine (default:
+                       VDBENCH_THREADS or hardware concurrency); results
+                       are bit-identical for any value
+  --cache-dir PATH     cache location (default: VDBENCH_CACHE_DIR or
+                       .vdbench-cache)
+  --cache-max-bytes N  LRU size cap (default: VDBENCH_CACHE_MAX_BYTES or
+                       256 MiB)
+  --no-cache           bypass the cache entirely (no reads, no writes)
+  --refresh            recompute selected experiments, overwriting entries
+  --json-out PATH      write the combined JSON export of all payloads
+  --manifest PATH      run manifest location (default:
+                       vdbench_manifest.json; empty string disables)
+  --artifact-dir PATH  directory for experiment artifact files (default: .)
+  --min-hit-rate R     exit non-zero when the cacheable hit rate is < R
+                       (CI warm-cache assertion; default: disabled)
+  --quiet              suppress experiment report text
+  --list               list registered experiments and exit
+  --help               this text
+)";
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::string_view source_name(ExperimentOutcome::Source source) {
+  switch (source) {
+    case ExperimentOutcome::Source::kComputed: return "miss";
+    case ExperimentOutcome::Source::kCacheHit: return "hit";
+    case ExperimentOutcome::Source::kBypass: return "bypass";
+    case ExperimentOutcome::Source::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+void print_stage_table(const std::vector<stats::StageTimer::Stage>& stages,
+                       std::size_t threads, std::ostream& os) {
+  double total = 0.0;
+  for (const stats::StageTimer::Stage& stage : stages) total += stage.seconds;
+  report::Table table({"stage", "seconds", "share"});
+  for (const stats::StageTimer::Stage& stage : stages)
+    table.add_row({stage.label, report::format_value(stage.seconds, 3),
+                   report::format_percent(
+                       total == 0.0 ? 0.0 : stage.seconds / total, 1)});
+  table.add_row({"total", report::format_value(total, 3),
+                 report::format_percent(total == 0.0 ? 0.0 : 1.0, 1)});
+  os << "stage timings (threads=" << threads << "):\n";
+  table.print(os);
+}
+
+// One JSONL line per executed experiment when VDBENCH_TIMER_JSON names a
+// file — the same format the standalone benches used to append, plus the
+// cache outcome, so BENCH_*.json baselines keep assembling the same way.
+void append_timer_jsonl(const ExperimentOutcome& outcome,
+                        std::size_t threads) {
+  const std::optional<std::string> path =
+      stats::env_string("VDBENCH_TIMER_JSON");
+  if (!path) return;
+  report::JsonWriter json;
+  json.begin_object();
+  json.field("bench", outcome.id);
+  json.field("threads", static_cast<std::uint64_t>(threads));
+  json.field("cache", source_name(outcome.source));
+  json.key("stages").begin_array();
+  for (const stats::StageTimer::Stage& stage : outcome.stages) {
+    json.begin_object();
+    json.field("label", stage.label);
+    json.field("seconds", stage.seconds);
+    json.field("calls", static_cast<std::uint64_t>(stage.calls));
+    json.end_object();
+  }
+  json.end_array();
+  json.field("total_seconds", outcome.seconds);
+  json.end_object();
+  if (std::ofstream out(*path, std::ios::app); out)
+    out << json.str() << "\n";
+}
+
+bool write_text_file(const std::filesystem::path& path,
+                     std::string_view content) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out.flush());
+}
+
+void write_artifacts(const std::vector<Artifact>& artifacts,
+                     const std::string& artifact_dir, std::ostream& out) {
+  const std::filesystem::path dir =
+      artifact_dir.empty() ? std::filesystem::path(".")
+                           : std::filesystem::path(artifact_dir);
+  for (const Artifact& artifact : artifacts) {
+    const std::filesystem::path path = dir / artifact.name;
+    if (write_text_file(path, artifact.content))
+      out << "wrote artifact " << path.string() << "\n";
+    else
+      out << "warning: could not write artifact " << path.string() << "\n";
+  }
+}
+
+void write_manifest(const std::string& path, const RunOutcome& run,
+                    const DriverOptions& options,
+                    const std::filesystem::path& cache_dir,
+                    const cache::CacheStats& cache_stats,
+                    std::uint64_t generated_at, std::size_t threads) {
+  report::JsonWriter json;
+  json.begin_object();
+  json.field("schema", static_cast<std::uint64_t>(kEngineSchemaVersion));
+  json.field("generated_at", generated_at);
+  json.field("threads", static_cast<std::uint64_t>(threads));
+  json.field("cache_dir", cache_dir.string());
+  json.field("cache_enabled", options.use_cache);
+  json.field("refresh", options.refresh);
+  json.key("experiments").begin_array();
+  for (const ExperimentOutcome& outcome : run.experiments) {
+    json.begin_object();
+    json.field("id", outcome.id);
+    json.field("key", outcome.key_hex);
+    json.field("source", source_name(outcome.source));
+    json.field("seconds", outcome.seconds);
+    json.field("timestamp", outcome.timestamp);
+    if (!outcome.error.empty()) json.field("error", outcome.error);
+    json.key("stages").begin_array();
+    for (const stats::StageTimer::Stage& stage : outcome.stages) {
+      json.begin_object();
+      json.field("label", stage.label);
+      json.field("seconds", stage.seconds);
+      json.field("calls", static_cast<std::uint64_t>(stage.calls));
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("summary").begin_object();
+  json.field("requested", static_cast<std::uint64_t>(run.experiments.size()));
+  json.field("hits", static_cast<std::uint64_t>(run.hits));
+  json.field("misses", static_cast<std::uint64_t>(run.misses));
+  json.field("hit_rate", run.hit_rate);
+  json.field("total_seconds", run.total_seconds);
+  json.key("cache").begin_object();
+  json.field("stores", static_cast<std::uint64_t>(cache_stats.stores));
+  json.field("evictions", static_cast<std::uint64_t>(cache_stats.evictions));
+  json.field("corrupt_entries",
+             static_cast<std::uint64_t>(cache_stats.corrupt_entries));
+  json.end_object();
+  json.end_object();
+  json.end_object();
+  write_text_file(path, json.str() + "\n");
+}
+
+void write_json_export(const std::string& path,
+                       const std::vector<std::string>& payloads,
+                       std::uint64_t study_seed) {
+  report::JsonWriter json;
+  json.begin_object();
+  json.field("schema", static_cast<std::uint64_t>(kEngineSchemaVersion));
+  json.field("seed", study_seed);
+  json.key("experiments").begin_array();
+  for (const std::string& payload : payloads) json.raw_value(payload);
+  json.end_array();
+  json.end_object();
+  write_text_file(path, json.str() + "\n");
+}
+
+}  // namespace
+
+std::string build_payload(const Experiment& experiment,
+                          std::uint64_t study_seed, std::string_view text,
+                          const std::vector<Artifact>& artifacts) {
+  report::JsonWriter json;
+  json.begin_object();
+  json.field("schema", static_cast<std::uint64_t>(kEngineSchemaVersion));
+  json.field("experiment", experiment.id);
+  json.field("title", experiment.title);
+  json.field("config", experiment.config);
+  json.field("seed", study_seed);
+  json.field("text", text);
+  json.key("artifacts").begin_array();
+  for (const Artifact& artifact : artifacts) {
+    json.begin_object();
+    json.field("name", artifact.name);
+    json.field("content", artifact.content);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::optional<DecodedPayload> decode_payload(std::string_view payload) {
+  const std::optional<report::JsonValue> doc = report::parse_json(payload);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const report::JsonValue* text = doc->member("text");
+  if (text == nullptr || text->as_string() == nullptr) return std::nullopt;
+  DecodedPayload decoded;
+  decoded.text = *text->as_string();
+  if (const report::JsonValue* artifacts = doc->member("artifacts")) {
+    const std::vector<report::JsonValue>* items = artifacts->as_array();
+    if (items == nullptr) return std::nullopt;
+    for (const report::JsonValue& item : *items) {
+      const report::JsonValue* name = item.member("name");
+      const report::JsonValue* content = item.member("content");
+      if (name == nullptr || content == nullptr ||
+          name->as_string() == nullptr || content->as_string() == nullptr)
+        return std::nullopt;
+      decoded.artifacts.push_back({*name->as_string(), *content->as_string()});
+    }
+  }
+  return decoded;
+}
+
+std::optional<DriverOptions> parse_args(int argc, const char* const* argv,
+                                        std::ostream& err,
+                                        bool* help_shown) {
+  if (help_shown != nullptr) *help_shown = false;
+  DriverOptions options;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const auto take_value = [&args, &err](std::size_t& i,
+                                        std::string_view flag,
+                                        std::string& out_value) {
+    const std::string& arg = args[i];
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      out_value = arg.substr(eq + 1);
+      return true;
+    }
+    if (i + 1 >= args.size()) {
+      err << "vdbench: " << flag << " requires a value\n";
+      return false;
+    }
+    out_value = args[++i];
+    return true;
+  };
+  const auto flag_matches = [](const std::string& arg, std::string_view flag) {
+    return arg == flag ||
+           (arg.size() > flag.size() && arg.compare(0, flag.size(), flag) == 0 &&
+            arg[flag.size()] == '=');
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      err << kUsage;
+      if (help_shown != nullptr) *help_shown = true;
+      return std::nullopt;
+    } else if (arg == "--no-cache") {
+      options.use_cache = false;
+    } else if (arg == "--refresh") {
+      options.refresh = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--list") {
+      options.list_only = true;
+    } else if (flag_matches(arg, "--experiments")) {
+      if (!take_value(i, "--experiments", value)) return std::nullopt;
+      options.experiments = value;
+    } else if (flag_matches(arg, "--cache-dir")) {
+      if (!take_value(i, "--cache-dir", value)) return std::nullopt;
+      options.cache_dir = value;
+    } else if (flag_matches(arg, "--json-out")) {
+      if (!take_value(i, "--json-out", value)) return std::nullopt;
+      options.json_out = value;
+    } else if (flag_matches(arg, "--manifest")) {
+      if (!take_value(i, "--manifest", value)) return std::nullopt;
+      options.manifest_path = value;
+    } else if (flag_matches(arg, "--artifact-dir")) {
+      if (!take_value(i, "--artifact-dir", value)) return std::nullopt;
+      options.artifact_dir = value;
+    } else if (flag_matches(arg, "--threads")) {
+      if (!take_value(i, "--threads", value)) return std::nullopt;
+      try {
+        const long parsed = std::stol(value);
+        if (parsed < 1) throw std::invalid_argument("non-positive");
+        options.threads = static_cast<std::size_t>(parsed);
+      } catch (const std::exception&) {
+        err << "vdbench: --threads expects a positive integer, got '"
+            << value << "'\n";
+        return std::nullopt;
+      }
+    } else if (flag_matches(arg, "--cache-max-bytes")) {
+      if (!take_value(i, "--cache-max-bytes", value)) return std::nullopt;
+      try {
+        options.cache_max_bytes = std::stoull(value);
+        if (options.cache_max_bytes == 0) throw std::invalid_argument("zero");
+      } catch (const std::exception&) {
+        err << "vdbench: --cache-max-bytes expects a positive integer, got '"
+            << value << "'\n";
+        return std::nullopt;
+      }
+    } else if (flag_matches(arg, "--min-hit-rate")) {
+      if (!take_value(i, "--min-hit-rate", value)) return std::nullopt;
+      try {
+        options.min_hit_rate = std::stod(value);
+        if (options.min_hit_rate < 0.0 || options.min_hit_rate > 1.0)
+          throw std::invalid_argument("out of range");
+      } catch (const std::exception&) {
+        err << "vdbench: --min-hit-rate expects a value in [0, 1], got '"
+            << value << "'\n";
+        return std::nullopt;
+      }
+    } else {
+      err << "vdbench: unknown option '" << arg << "'\n" << kUsage;
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+RunOutcome run_driver(const ExperimentRegistry& registry,
+                      const DriverOptions& options, std::ostream& out) {
+  RunOutcome run;
+
+  if (options.list_only) {
+    report::Table table({"id", "cacheable", "title"});
+    for (const Experiment& e : registry.all())
+      table.add_row({e.id, e.cacheable ? "yes" : "no", e.title});
+    table.print(out);
+    return run;
+  }
+
+  std::vector<std::string> unknown;
+  const std::vector<const Experiment*> selected =
+      registry.select(options.experiments, unknown);
+  if (!unknown.empty()) {
+    out << "vdbench: unknown experiment id(s):";
+    for (const std::string& id : unknown) out << ' ' << id;
+    out << "\nknown ids:";
+    for (const Experiment& e : registry.all()) out << ' ' << e.id;
+    out << "\n";
+    run.exit_code = 2;
+    return run;
+  }
+  if (selected.empty()) {
+    out << "vdbench: no experiments selected\n";
+    run.exit_code = 2;
+    return run;
+  }
+
+  if (options.threads > 0) stats::set_global_threads(options.threads);
+  const std::size_t threads = stats::global_executor().thread_count();
+
+  const std::function<std::uint64_t()> clock =
+      options.clock ? options.clock : []() {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::seconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+      };
+
+  const std::filesystem::path cache_dir =
+      cache::ResultCache::resolve_dir(options.cache_dir);
+  std::optional<cache::ResultCache> result_cache;
+  if (options.use_cache) {
+    try {
+      result_cache.emplace(cache::ResultCache::Config{
+          cache_dir, cache::ResultCache::resolve_max_bytes(
+                         options.cache_max_bytes)});
+    } catch (const std::exception& e) {
+      out << "vdbench: cache disabled (" << e.what() << ")\n";
+    }
+  }
+
+  out << "vdbench: running " << selected.size() << " experiment(s), threads="
+      << threads << ", cache="
+      << (result_cache ? cache_dir.string() : std::string("off"))
+      << (options.refresh ? " (refresh)" : "") << "\n";
+
+  const auto run_start = std::chrono::steady_clock::now();
+  std::vector<std::string> payloads;
+  payloads.reserve(selected.size());
+
+  for (const Experiment* experiment : selected) {
+    const cache::CacheKey key{experiment->id, experiment->config,
+                              options.study_seed, kEngineSchemaVersion};
+    ExperimentOutcome outcome;
+    outcome.id = experiment->id;
+    outcome.key_hex = key.hex();
+    outcome.timestamp = clock();
+    const auto exp_start = std::chrono::steady_clock::now();
+
+    out << "\n=== " << experiment->id << " — " << experiment->title << "\n";
+
+    // Cache lookup.
+    std::optional<DecodedPayload> replay;
+    std::string payload;
+    const bool lookup = result_cache.has_value() && experiment->cacheable &&
+                        !options.refresh;
+    if (lookup) {
+      if (std::optional<std::string> cached =
+              result_cache->fetch(key, outcome.timestamp)) {
+        replay = decode_payload(*cached);
+        if (replay) payload = std::move(*cached);
+        // A checksummed entry that fails structural decode means the
+        // payload schema moved without a version bump; recompute.
+      }
+    }
+
+    stats::StageTimer timer;
+    if (replay) {
+      outcome.source = ExperimentOutcome::Source::kCacheHit;
+      {
+        const auto scope = timer.scope("cache replay");
+        if (!options.quiet) out << replay->text;
+        write_artifacts(replay->artifacts, options.artifact_dir, out);
+      }
+      ++run.hits;
+    } else {
+      std::ostringstream capture;
+      ExperimentContext context(capture, timer);
+      try {
+        experiment->run(context);
+      } catch (const std::exception& e) {
+        outcome.source = ExperimentOutcome::Source::kFailed;
+        outcome.error = e.what();
+        out << "FAILED: " << e.what() << "\n";
+        run.exit_code = 1;
+      }
+      if (outcome.source != ExperimentOutcome::Source::kFailed) {
+        const std::string text = std::move(capture).str();
+        payload = build_payload(*experiment, options.study_seed, text,
+                                context.artifacts);
+        if (!options.quiet) out << text;
+        write_artifacts(context.artifacts, options.artifact_dir, out);
+        if (result_cache.has_value() && experiment->cacheable) {
+          outcome.source = ExperimentOutcome::Source::kComputed;
+          const auto scope = timer.scope("cache store");
+          if (!result_cache->store(key, payload, outcome.timestamp))
+            out << "warning: could not persist cache entry\n";
+          ++run.misses;
+        } else {
+          outcome.source = ExperimentOutcome::Source::kBypass;
+        }
+      }
+    }
+
+    outcome.seconds =
+        seconds_between(exp_start, std::chrono::steady_clock::now());
+    outcome.stages = timer.stages();
+    if (outcome.source != ExperimentOutcome::Source::kFailed) {
+      payloads.push_back(std::move(payload));
+      if (outcome.source == ExperimentOutcome::Source::kCacheHit) {
+        out << "served from cache (key=" << outcome.key_hex << ", "
+            << report::format_value(outcome.seconds, 3) << "s)\n";
+      } else {
+        print_stage_table(outcome.stages, threads, out);
+      }
+    }
+    append_timer_jsonl(outcome, threads);
+    run.experiments.push_back(std::move(outcome));
+  }
+
+  run.total_seconds =
+      seconds_between(run_start, std::chrono::steady_clock::now());
+  const std::size_t lookups = run.hits + run.misses;
+  run.hit_rate = lookups == 0
+                     ? 0.0
+                     : static_cast<double>(run.hits) /
+                           static_cast<double>(lookups);
+
+  out << "\n=== run summary: " << run.experiments.size()
+      << " experiment(s) in " << report::format_value(run.total_seconds, 3)
+      << "s — " << run.hits << " cache hit(s), " << run.misses
+      << " miss(es)";
+  if (lookups > 0)
+    out << " (hit rate " << report::format_percent(run.hit_rate, 1) << ")";
+  out << "\n";
+
+  const cache::CacheStats cache_stats =
+      result_cache ? result_cache->stats() : cache::CacheStats{};
+  if (!options.manifest_path.empty()) {
+    write_manifest(options.manifest_path, run, options, cache_dir,
+                   cache_stats, clock(), threads);
+    out << "wrote run manifest to " << options.manifest_path << "\n";
+  }
+  if (!options.json_out.empty() && run.exit_code == 0) {
+    write_json_export(options.json_out, payloads, options.study_seed);
+    out << "wrote JSON export to " << options.json_out << "\n";
+  }
+
+  if (options.min_hit_rate >= 0.0 && run.exit_code == 0 &&
+      run.hit_rate < options.min_hit_rate) {
+    out << "vdbench: cache hit rate "
+        << report::format_percent(run.hit_rate, 1) << " below required "
+        << report::format_percent(options.min_hit_rate, 1) << "\n";
+    run.exit_code = 1;
+  }
+  return run;
+}
+
+int vdbench_main(int argc, const char* const* argv,
+                 const ExperimentRegistry& registry,
+                 std::uint64_t study_seed) {
+  bool help_shown = false;
+  std::optional<DriverOptions> options =
+      parse_args(argc, argv, std::cerr, &help_shown);
+  if (!options) return help_shown ? 0 : 2;
+  options->study_seed = study_seed;
+  return run_driver(registry, *options, std::cout).exit_code;
+}
+
+}  // namespace vdbench::cli

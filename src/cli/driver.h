@@ -1,0 +1,105 @@
+// The unified `vdbench` study driver.
+//
+// One entry point runs any subset of the reconstructed study's experiments
+// through the content-addressed result cache: misses compute on the
+// deterministic parallel engine and are persisted; hits replay the stored
+// payload (report text + artifacts) from disk. Every run emits a manifest
+// JSON summarizing per-experiment cache outcome, stage timings and the
+// overall hit rate — the artifact CI uploads and asserts on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cache/result_cache.h"
+#include "cli/experiment.h"
+
+namespace vdbench::cli {
+
+struct DriverOptions {
+  /// Comma-separated experiment selection; "all" = every cacheable one.
+  std::string experiments = "all";
+  /// Worker count for the parallel engine; 0 keeps the VDBENCH_THREADS /
+  /// hardware default. Results are identical either way — this only
+  /// changes wall clock.
+  std::size_t threads = 0;
+  /// Cache directory; empty resolves VDBENCH_CACHE_DIR then .vdbench-cache.
+  std::string cache_dir;
+  /// LRU size cap; 0 resolves VDBENCH_CACHE_MAX_BYTES then 256 MiB.
+  std::uint64_t cache_max_bytes = 0;
+  bool use_cache = true;    ///< --no-cache: bypass entirely (no reads/writes)
+  bool refresh = false;     ///< --refresh: recompute and overwrite entries
+  bool quiet = false;       ///< suppress experiment report text
+  bool list_only = false;   ///< --list: print the registry and exit
+  std::string json_out;     ///< combined JSON export path (empty = none)
+  std::string manifest_path = "vdbench_manifest.json";  ///< empty = none
+  std::string artifact_dir;  ///< where experiment artifacts land ("" = cwd)
+  /// Fail the run (exit 1) when the cacheable hit rate lands below this;
+  /// negative disables the assertion. CI's warm-cache smoke uses 0.9.
+  double min_hit_rate = -1.0;
+  /// Study seed baked into the experiments; becomes part of every cache
+  /// key so a seed change can never serve stale results.
+  std::uint64_t study_seed = 0;
+  /// Timestamp source for cache LRU recency and manifest entries
+  /// (seconds); injectable so tests are deterministic. Defaults to the
+  /// system clock when null.
+  std::function<std::uint64_t()> clock;
+};
+
+struct ExperimentOutcome {
+  std::string id;
+  std::string key_hex;
+  enum class Source { kComputed, kCacheHit, kBypass, kFailed } source =
+      Source::kComputed;
+  double seconds = 0.0;
+  std::uint64_t timestamp = 0;
+  std::vector<stats::StageTimer::Stage> stages;
+  std::string error;  ///< non-empty when source == kFailed
+};
+
+struct RunOutcome {
+  int exit_code = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;  ///< cacheable lookups that had to compute
+  double hit_rate = 0.0;
+  double total_seconds = 0.0;
+  std::vector<ExperimentOutcome> experiments;
+};
+
+/// Parse argv into options. Returns nullopt after printing a message to
+/// `err` on a usage error (or after printing help for --help, in which
+/// case `*help_shown` is set).
+[[nodiscard]] std::optional<DriverOptions> parse_args(
+    int argc, const char* const* argv, std::ostream& err, bool* help_shown);
+
+/// Run the selected experiments. All human-readable output goes to `out`.
+[[nodiscard]] RunOutcome run_driver(const ExperimentRegistry& registry,
+                                    const DriverOptions& options,
+                                    std::ostream& out);
+
+/// main() body for the vdbench binary.
+[[nodiscard]] int vdbench_main(int argc, const char* const* argv,
+                               const ExperimentRegistry& registry,
+                               std::uint64_t study_seed);
+
+/// Serialize one experiment result into the cached/exported JSON payload.
+[[nodiscard]] std::string build_payload(const Experiment& experiment,
+                                        std::uint64_t study_seed,
+                                        std::string_view text,
+                                        const std::vector<Artifact>& artifacts);
+
+struct DecodedPayload {
+  std::string text;
+  std::vector<Artifact> artifacts;
+};
+
+/// Parse a payload back; nullopt when it is not a structurally valid
+/// payload document (treated as cache corruption by the driver).
+[[nodiscard]] std::optional<DecodedPayload> decode_payload(
+    std::string_view payload);
+
+}  // namespace vdbench::cli

@@ -1,0 +1,70 @@
+#include "cli/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdbench::cli {
+
+void ExperimentRegistry::add(Experiment experiment) {
+  if (experiment.id.empty())
+    throw std::logic_error("ExperimentRegistry: empty experiment id");
+  if (find(experiment.id) != nullptr)
+    throw std::logic_error("ExperimentRegistry: duplicate experiment id " +
+                           experiment.id);
+  if (!experiment.run)
+    throw std::logic_error("ExperimentRegistry: experiment " + experiment.id +
+                           " has no run function");
+  experiments_.push_back(std::move(experiment));
+}
+
+const Experiment* ExperimentRegistry::find(std::string_view id) const {
+  const auto it = std::find_if(
+      experiments_.begin(), experiments_.end(),
+      [id](const Experiment& e) { return e.id == id; });
+  return it == experiments_.end() ? nullptr : &*it;
+}
+
+std::vector<const Experiment*> ExperimentRegistry::select(
+    std::string_view csv, std::vector<std::string>& unknown) const {
+  std::vector<const Experiment*> picked;
+  const auto add_unique = [&picked](const Experiment* e) {
+    if (std::find(picked.begin(), picked.end(), e) == picked.end())
+      picked.push_back(e);
+  };
+
+  std::size_t start = 0;
+  bool want_all = csv.empty();
+  std::vector<std::string_view> tokens;
+  while (start <= csv.size() && !csv.empty()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string_view token =
+        csv.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                          : comma - start);
+    if (!token.empty()) tokens.push_back(token);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  for (const std::string_view token : tokens) {
+    if (token == "all") {
+      want_all = true;
+      continue;
+    }
+    if (const Experiment* e = find(token))
+      add_unique(e);
+    else
+      unknown.emplace_back(token);
+  }
+  if (want_all)
+    for (const Experiment& e : experiments_)
+      if (e.cacheable) add_unique(&e);
+
+  // Registry order regardless of how the user ordered the csv: the run
+  // manifest and JSON export stay stable across equivalent selections.
+  std::sort(picked.begin(), picked.end(),
+            [this](const Experiment* a, const Experiment* b) {
+              return a - experiments_.data() < b - experiments_.data();
+            });
+  return picked;
+}
+
+}  // namespace vdbench::cli

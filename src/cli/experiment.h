@@ -1,0 +1,86 @@
+// Experiment registry for the unified `vdbench` study driver.
+//
+// Before this layer every experiment binary owned its own main(), its own
+// timing boilerplate and its own artifact files. Now each experiment is a
+// value: an id, a one-line title, a config fingerprint (what makes its
+// result unique, for cache addressing) and a run function that writes its
+// report to the context stream. The driver owns everything else — argument
+// parsing, the result cache, timing, the run manifest and JSON export.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/timer.h"
+
+namespace vdbench::cli {
+
+/// Version of the experiment payload schema AND of the experiments' output
+/// contract. Bump whenever any experiment's rendered output or payload
+/// layout changes; every cache key embeds it, so a bump invalidates all
+/// previously cached results at once.
+inline constexpr std::uint32_t kEngineSchemaVersion = 1;
+
+/// A machine-readable side file an experiment produces (e.g. e13's
+/// campaign JSON). Artifacts travel inside the cached payload, so a cache
+/// hit rewrites them without recomputation.
+struct Artifact {
+  std::string name;     ///< file name, written into the artifact directory
+  std::string content;
+};
+
+/// Everything an experiment touches while running. Experiments must treat
+/// `out` as their only stdout and must not read clocks or environment
+/// themselves — that is what keeps their output cacheable.
+struct ExperimentContext {
+  ExperimentContext(std::ostream& out_stream, stats::StageTimer& stage_timer)
+      : out(out_stream), timer(stage_timer) {}
+
+  std::ostream& out;
+  stats::StageTimer& timer;
+  std::vector<Artifact> artifacts;
+
+  void add_artifact(std::string name, std::string content) {
+    artifacts.push_back({std::move(name), std::move(content)});
+  }
+};
+
+struct Experiment {
+  std::string id;      ///< short key, e.g. "e7"
+  std::string title;   ///< one-line description for --list
+  /// Serialized configuration: every parameter that determines the result.
+  /// Together with (id, study seed, schema version) it forms the cache key.
+  std::string config;
+  /// False for experiments whose output is inherently non-deterministic
+  /// (e10's wall-clock microbenchmarks); they always run fresh and are
+  /// excluded from the "all" selection.
+  bool cacheable = true;
+  std::function<void(ExperimentContext&)> run;
+};
+
+/// Ordered collection of experiments; ids are unique.
+class ExperimentRegistry {
+ public:
+  /// Throws std::logic_error on a duplicate or empty id.
+  void add(Experiment experiment);
+
+  [[nodiscard]] const Experiment* find(std::string_view id) const;
+  [[nodiscard]] const std::vector<Experiment>& all() const noexcept {
+    return experiments_;
+  }
+
+  /// Expand a comma-separated selection ("e2,e6,e13") into experiments, in
+  /// registry order and deduplicated. "all" (or empty) selects every
+  /// cacheable experiment. Unknown ids land in `unknown`.
+  [[nodiscard]] std::vector<const Experiment*> select(
+      std::string_view csv, std::vector<std::string>& unknown) const;
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+}  // namespace vdbench::cli

@@ -169,6 +169,15 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(std::string_view json) {
+  if (json.empty())
+    throw std::logic_error("JsonWriter: raw_value requires non-empty JSON");
+  before_value();
+  out_ << json;
+  after_value();
+  return *this;
+}
+
 JsonWriter& JsonWriter::field(std::string_view name,
                               const std::vector<double>& xs) {
   key(name);

@@ -42,6 +42,12 @@ class JsonWriter {
   JsonWriter& value(bool flag);
   JsonWriter& null();
 
+  /// Splice a precomposed JSON document in as the next value, verbatim.
+  /// The caller guarantees `json` is itself valid JSON (e.g. a payload that
+  /// came out of this writer earlier); the writer only checks it is
+  /// non-empty. Used to embed cached experiment payloads byte-identically.
+  JsonWriter& raw_value(std::string_view json);
+
   /// Convenience: key + value in one call.
   template <typename T>
   JsonWriter& field(std::string_view name, const T& v) {

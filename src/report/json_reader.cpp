@@ -1,0 +1,298 @@
+#include "report/json_reader.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <utility>
+
+namespace vdbench::report {
+
+std::optional<bool> JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) return std::nullopt;
+  return bool_;
+}
+
+std::optional<double> JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) return std::nullopt;
+  return number_;
+}
+
+const std::string* JsonValue::as_string() const {
+  return kind_ == Kind::kString ? &string_ : nullptr;
+}
+
+const std::vector<JsonValue>* JsonValue::as_array() const {
+  return kind_ == Kind::kArray ? &array_ : nullptr;
+}
+
+const JsonValue* JsonValue::member(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::make_null() { return JsonValue(); }
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(
+    std::map<std::string, JsonValue, std::less<>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view cursor. Failure is signalled
+// by returning nullopt up the call chain; no exceptions, no partial reads.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse_document() {
+    skip_ws();
+    std::optional<JsonValue> value = parse_value();
+    if (!value) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  // Matches the writer's worst case (payload > artifacts array > strings)
+  // with plenty of slack; bounds stack use on adversarial input.
+  static constexpr std::size_t kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char expected) {
+    if (at_end() || text_[pos_] != expected) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    if (depth_ > kMaxDepth || at_end()) return std::nullopt;
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        std::optional<std::string> s = parse_string();
+        if (!s) return std::nullopt;
+        return JsonValue::make_string(std::move(*s));
+      }
+      case 't':
+        return consume_literal("true")
+                   ? std::optional<JsonValue>(JsonValue::make_bool(true))
+                   : std::nullopt;
+      case 'f':
+        return consume_literal("false")
+                   ? std::optional<JsonValue>(JsonValue::make_bool(false))
+                   : std::nullopt;
+      case 'n':
+        return consume_literal("null")
+                   ? std::optional<JsonValue>(JsonValue::make_null())
+                   : std::nullopt;
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    ++depth_;
+    if (!consume('{')) return std::nullopt;
+    std::map<std::string, JsonValue, std::less<>> members;
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      std::optional<JsonValue> value = parse_value();
+      if (!value) return std::nullopt;
+      members.insert_or_assign(std::move(*key), std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return std::nullopt;
+    }
+    --depth_;
+    return JsonValue::make_object(std::move(members));
+  }
+
+  std::optional<JsonValue> parse_array() {
+    ++depth_;
+    if (!consume('[')) return std::nullopt;
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      skip_ws();
+      std::optional<JsonValue> value = parse_value();
+      if (!value) return std::nullopt;
+      items.push_back(std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return std::nullopt;
+    }
+    --depth_;
+    return JsonValue::make_array(std::move(items));
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (true) {
+      if (at_end()) return std::nullopt;
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (static_cast<unsigned char>(ch) < 0x20) return std::nullopt;
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (at_end()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::optional<unsigned> code = parse_hex4();
+          if (!code) return std::nullopt;
+          append_utf8(out, *code);
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<unsigned> parse_hex4() {
+    if (pos_ + 4 > text_.size()) return std::nullopt;
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9')
+        code += static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        code += static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F')
+        code += static_cast<unsigned>(c - 'A') + 10;
+      else
+        return std::nullopt;
+    }
+    return code;
+  }
+
+  // Encode a BMP code point as UTF-8. Surrogate pairs are not recombined
+  // (the writer never emits them — it only \u-escapes control characters),
+  // so a lone surrogate encodes as its raw code point.
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return std::nullopt;
+    // RFC 8259: a leading zero may only be the sole integer digit.
+    if (peek() == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+      return std::nullopt;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                         peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                         peek() == '+' || peek() == '-'))
+      ++pos_;
+    double number = 0.0;
+    const auto [end, ec] = std::from_chars(text_.data() + start,
+                                           text_.data() + pos_, number);
+    if (ec != std::errc() || end != text_.data() + pos_ ||
+        !std::isfinite(number))
+      return std::nullopt;
+    return JsonValue::make_number(number);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace vdbench::report

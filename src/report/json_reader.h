@@ -1,0 +1,66 @@
+// Minimal JSON parser — the read side of report/json.h.
+//
+// The result cache stores experiment payloads as JSON documents produced by
+// JsonWriter; serving a cache hit means parsing one of those documents back
+// into text + artifacts. The parser covers exactly the subset the writer
+// emits (RFC 8259 objects, arrays, strings with the writer's escapes plus
+// \uXXXX, finite numbers, booleans, null) and reports malformed input as a
+// parse failure rather than an exception, so a corrupted cache entry
+// degrades to a miss instead of a crash.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdbench::report {
+
+/// A parsed JSON value. Object keys preserve no duplicate entries (last
+/// wins, matching common parser behaviour); member order is not preserved.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+
+  // Typed accessors; each returns nullopt / nullptr when the value has a
+  // different kind, so callers can validate structure without try/catch.
+  [[nodiscard]] std::optional<bool> as_bool() const;
+  [[nodiscard]] std::optional<double> as_number() const;
+  [[nodiscard]] const std::string* as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>* as_array() const;
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  [[nodiscard]] const JsonValue* member(std::string_view key) const;
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::map<std::string, JsonValue, std::less<>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue, std::less<>> object_;
+};
+
+/// Parse a complete JSON document. Returns nullopt on any syntax error,
+/// trailing garbage, or nesting deeper than an internal sanity limit.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
+
+}  // namespace vdbench::report

@@ -1,0 +1,35 @@
+#include "stats/env.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace vdbench::stats {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::optional<std::uint64_t> env_uint64(const char* name) {
+  const std::optional<std::string> raw = env_string(name);
+  if (!raw) return std::nullopt;
+  // Reject leading signs/whitespace outright: these knobs are plain
+  // non-negative integers, and strtoull would silently accept "-1".
+  if (!std::isdigit(static_cast<unsigned char>(raw->front())))
+    return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw->c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+std::optional<std::uint64_t> env_uint64_at_least(const char* name,
+                                                 std::uint64_t min) {
+  const std::optional<std::uint64_t> parsed = env_uint64(name);
+  if (!parsed || *parsed < min) return std::nullopt;
+  return parsed;
+}
+
+}  // namespace vdbench::stats

@@ -1,5 +1,7 @@
 #include "stats/parallel.h"
 
+#include "stats/env.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -154,14 +156,9 @@ void ParallelExecutor::parallel_for_indexed(
 }
 
 std::size_t ParallelExecutor::default_thread_count() {
-  if (const char* env = std::getenv("VDBENCH_THREADS")) {
-    try {
-      const long parsed = std::stol(env);
-      if (parsed >= 1) return static_cast<std::size_t>(parsed);
-    } catch (const std::exception&) {
-      // Fall through to hardware detection on a malformed value.
-    }
-  }
+  if (const std::optional<std::uint64_t> env =
+          env_uint64_at_least("VDBENCH_THREADS", 1))
+    return static_cast<std::size_t>(*env);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }

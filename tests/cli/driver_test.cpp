@@ -1,0 +1,329 @@
+#include "cli/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/experiment.h"
+#include "experiments.h"
+
+namespace vdbench::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A tiny deterministic registry: two cacheable experiments (one with an
+// artifact) and one non-cacheable.
+ExperimentRegistry toy_registry() {
+  ExperimentRegistry registry;
+  registry.add({"t1", "writes a line", "toy{n=1}", true,
+                [](ExperimentContext& ctx) {
+                  const auto scope = ctx.timer.scope("compute");
+                  ctx.out << "t1 report line\n";
+                }});
+  registry.add({"t2", "writes an artifact", "toy{n=2}", true,
+                [](ExperimentContext& ctx) {
+                  ctx.out << "t2 report line\n";
+                  ctx.add_artifact("t2_data.json", "{\"v\":2}\n");
+                }});
+  registry.add({"t3", "non-cacheable", "toy{n=3}", false,
+                [](ExperimentContext& ctx) { ctx.out << "t3 fresh\n"; }});
+  return registry;
+}
+
+class DriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vddriver_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  DriverOptions base_options() {
+    DriverOptions options;
+    options.cache_dir = (dir_ / "cache").string();
+    options.manifest_path = (dir_ / "manifest.json").string();
+    options.artifact_dir = dir_.string();
+    options.threads = 1;
+    options.study_seed = 7;
+    options.clock = [this] { return ++tick_; };
+    return options;
+  }
+
+  static std::string slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), {}};
+  }
+
+  fs::path dir_;
+  std::uint64_t tick_ = 0;
+};
+
+TEST(ExperimentRegistryTest, RejectsDuplicateAndEmptyIds) {
+  ExperimentRegistry registry;
+  registry.add({"x", "", "", true, [](ExperimentContext&) {}});
+  EXPECT_THROW(registry.add({"x", "", "", true, [](ExperimentContext&) {}}),
+               std::logic_error);
+  EXPECT_THROW(registry.add({"", "", "", true, [](ExperimentContext&) {}}),
+               std::logic_error);
+}
+
+TEST(ExperimentRegistryTest, SelectAllMeansEveryCacheableExperiment) {
+  const ExperimentRegistry registry = toy_registry();
+  std::vector<std::string> unknown;
+  const auto all = registry.select("all", unknown);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->id, "t1");
+  EXPECT_EQ(all[1]->id, "t2");
+  EXPECT_TRUE(unknown.empty());
+}
+
+TEST(ExperimentRegistryTest, SelectDeduplicatesAndKeepsRegistryOrder) {
+  const ExperimentRegistry registry = toy_registry();
+  std::vector<std::string> unknown;
+  const auto picked = registry.select("t3,t1,t3,e99", unknown);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0]->id, "t1");  // registry order, not request order
+  EXPECT_EQ(picked[1]->id, "t3");  // explicit naming admits non-cacheable
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "e99");
+}
+
+TEST(ParseArgsTest, ParsesBothFlagForms) {
+  const char* argv[] = {"vdbench",           "--experiments", "e1,e2",
+                        "--threads=4",       "--no-cache",    "--json-out",
+                        "/tmp/out.json",     "--refresh",     "--quiet",
+                        "--min-hit-rate=0.9"};
+  std::ostringstream err;
+  bool help = false;
+  const auto options =
+      parse_args(static_cast<int>(std::size(argv)), argv, err, &help);
+  ASSERT_TRUE(options.has_value()) << err.str();
+  EXPECT_EQ(options->experiments, "e1,e2");
+  EXPECT_EQ(options->threads, 4u);
+  EXPECT_FALSE(options->use_cache);
+  EXPECT_EQ(options->json_out, "/tmp/out.json");
+  EXPECT_TRUE(options->refresh);
+  EXPECT_TRUE(options->quiet);
+  EXPECT_DOUBLE_EQ(options->min_hit_rate, 0.9);
+  EXPECT_FALSE(help);
+}
+
+TEST(ParseArgsTest, RejectsUnknownFlagsAndBadValues) {
+  std::ostringstream err;
+  bool help = false;
+  const char* bad_flag[] = {"vdbench", "--bogus"};
+  EXPECT_FALSE(parse_args(2, bad_flag, err, &help).has_value());
+  const char* missing_value[] = {"vdbench", "--experiments"};
+  EXPECT_FALSE(parse_args(2, missing_value, err, &help).has_value());
+  const char* bad_rate[] = {"vdbench", "--min-hit-rate=1.5"};
+  EXPECT_FALSE(parse_args(2, bad_rate, err, &help).has_value());
+  EXPECT_FALSE(help);
+  const char* help_flag[] = {"vdbench", "--help"};
+  EXPECT_FALSE(parse_args(2, help_flag, err, &help).has_value());
+  EXPECT_TRUE(help);
+}
+
+TEST(PayloadTest, RoundTripsTextAndArtifacts) {
+  const Experiment experiment{"t2", "writes an artifact", "toy{n=2}", true,
+                              nullptr};
+  const std::vector<Artifact> artifacts = {{"a.json", "{\"k\":[1,2]}\n"}};
+  const std::string payload = build_payload(
+      experiment, 7, "report text\nwith \"quotes\"\n", artifacts);
+  const auto decoded = decode_payload(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->text, "report text\nwith \"quotes\"\n");
+  ASSERT_EQ(decoded->artifacts.size(), 1u);
+  EXPECT_EQ(decoded->artifacts[0].name, "a.json");
+  EXPECT_EQ(decoded->artifacts[0].content, "{\"k\":[1,2]}\n");
+}
+
+TEST(PayloadTest, RejectsStructurallyInvalidPayloads) {
+  EXPECT_FALSE(decode_payload("not json").has_value());
+  EXPECT_FALSE(decode_payload("{}").has_value());
+  EXPECT_FALSE(decode_payload("{\"text\":42}").has_value());
+}
+
+TEST_F(DriverTest, ColdRunMissesThenWarmRunHitsByteIdentically) {
+  const ExperimentRegistry registry = toy_registry();
+  DriverOptions options = base_options();
+  options.experiments = "all";
+
+  std::ostringstream cold;
+  const RunOutcome first = run_driver(registry, options, cold);
+  EXPECT_EQ(first.exit_code, 0);
+  EXPECT_EQ(first.hits, 0u);
+  EXPECT_EQ(first.misses, 2u);
+  EXPECT_NE(cold.str().find("t1 report line"), std::string::npos);
+
+  // The artifact landed on disk.
+  EXPECT_EQ(slurp(dir_ / "t2_data.json"), "{\"v\":2}\n");
+  fs::remove(dir_ / "t2_data.json");
+
+  std::ostringstream warm;
+  const RunOutcome second = run_driver(registry, options, warm);
+  EXPECT_EQ(second.exit_code, 0);
+  EXPECT_EQ(second.hits, 2u);
+  EXPECT_EQ(second.misses, 0u);
+  EXPECT_DOUBLE_EQ(second.hit_rate, 1.0);
+  ASSERT_EQ(second.experiments.size(), 2u);
+  EXPECT_EQ(second.experiments[0].source,
+            ExperimentOutcome::Source::kCacheHit);
+  // Same report text replays from the cache...
+  EXPECT_NE(warm.str().find("t1 report line"), std::string::npos);
+  // ...and the artifact is rewritten without recomputation.
+  EXPECT_EQ(slurp(dir_ / "t2_data.json"), "{\"v\":2}\n");
+  // The keys are stable across runs.
+  EXPECT_EQ(first.experiments[0].key_hex, second.experiments[0].key_hex);
+}
+
+TEST_F(DriverTest, JsonExportIsByteIdenticalAcrossColdAndWarmRuns) {
+  const ExperimentRegistry registry = toy_registry();
+  DriverOptions options = base_options();
+  options.quiet = true;
+
+  options.json_out = (dir_ / "run1.json").string();
+  ASSERT_EQ(run_driver(registry, options, std::cout).exit_code, 0);
+  options.json_out = (dir_ / "run2.json").string();
+  ASSERT_EQ(run_driver(registry, options, std::cout).exit_code, 0);
+
+  const std::string run1 = slurp(dir_ / "run1.json");
+  const std::string run2 = slurp(dir_ / "run2.json");
+  ASSERT_FALSE(run1.empty());
+  EXPECT_EQ(run1, run2);
+}
+
+TEST_F(DriverTest, RefreshRecomputesAndOverwrites) {
+  const ExperimentRegistry registry = toy_registry();
+  DriverOptions options = base_options();
+  options.quiet = true;
+  ASSERT_EQ(run_driver(registry, options, std::cout).misses, 2u);
+
+  options.refresh = true;
+  const RunOutcome refreshed = run_driver(registry, options, std::cout);
+  EXPECT_EQ(refreshed.hits, 0u);
+  EXPECT_EQ(refreshed.misses, 2u);
+
+  // The refreshed entries serve hits again afterwards.
+  options.refresh = false;
+  EXPECT_EQ(run_driver(registry, options, std::cout).hits, 2u);
+}
+
+TEST_F(DriverTest, NoCacheBypassesReadsAndWrites) {
+  const ExperimentRegistry registry = toy_registry();
+  DriverOptions options = base_options();
+  options.quiet = true;
+  options.use_cache = false;
+  const RunOutcome run = run_driver(registry, options, std::cout);
+  EXPECT_EQ(run.exit_code, 0);
+  ASSERT_EQ(run.experiments.size(), 2u);
+  EXPECT_EQ(run.experiments[0].source, ExperimentOutcome::Source::kBypass);
+  EXPECT_FALSE(fs::exists(dir_ / "cache"));
+}
+
+TEST_F(DriverTest, UnknownExperimentIdFailsTheRun) {
+  const ExperimentRegistry registry = toy_registry();
+  DriverOptions options = base_options();
+  options.experiments = "t1,e99";
+  std::ostringstream out;
+  EXPECT_EQ(run_driver(registry, options, out).exit_code, 2);
+}
+
+TEST_F(DriverTest, MinHitRateGatesTheExitCode) {
+  const ExperimentRegistry registry = toy_registry();
+  DriverOptions options = base_options();
+  options.quiet = true;
+  options.min_hit_rate = 0.9;
+  // Cold run: 0% hits => assertion fails.
+  EXPECT_EQ(run_driver(registry, options, std::cout).exit_code, 1);
+  // Warm run: 100% hits => passes.
+  EXPECT_EQ(run_driver(registry, options, std::cout).exit_code, 0);
+}
+
+TEST_F(DriverTest, NonCacheableExperimentsAlwaysRunFresh) {
+  const ExperimentRegistry registry = toy_registry();
+  DriverOptions options = base_options();
+  options.quiet = true;
+  options.experiments = "t3";
+  for (int round = 0; round < 2; ++round) {
+    const RunOutcome run = run_driver(registry, options, std::cout);
+    ASSERT_EQ(run.experiments.size(), 1u);
+    EXPECT_EQ(run.experiments[0].source, ExperimentOutcome::Source::kBypass);
+    EXPECT_EQ(run.hits + run.misses, 0u);  // not a cacheable lookup
+  }
+}
+
+TEST_F(DriverTest, FailingExperimentIsReportedNotFatal) {
+  ExperimentRegistry registry;
+  registry.add({"boom", "throws", "boom{}", true, [](ExperimentContext&) {
+                  throw std::runtime_error("exploded");
+                }});
+  DriverOptions options = base_options();
+  options.experiments = "boom";
+  std::ostringstream out;
+  const RunOutcome run = run_driver(registry, options, out);
+  EXPECT_EQ(run.exit_code, 1);
+  ASSERT_EQ(run.experiments.size(), 1u);
+  EXPECT_EQ(run.experiments[0].source, ExperimentOutcome::Source::kFailed);
+  EXPECT_NE(run.experiments[0].error.find("exploded"), std::string::npos);
+}
+
+TEST_F(DriverTest, ManifestRecordsOutcomesAndHitRate) {
+  const ExperimentRegistry registry = toy_registry();
+  DriverOptions options = base_options();
+  options.quiet = true;
+  ASSERT_EQ(run_driver(registry, options, std::cout).exit_code, 0);
+  ASSERT_EQ(run_driver(registry, options, std::cout).exit_code, 0);
+  const std::string manifest = slurp(dir_ / "manifest.json");
+  EXPECT_NE(manifest.find("\"source\":\"hit\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"hit_rate\":1"), std::string::npos);
+  EXPECT_NE(manifest.find("\"id\":\"t1\""), std::string::npos);
+}
+
+// The PR-1 guarantee the cache rests on: results are bit-identical for any
+// worker count, so 1-thread and 8-thread runs share cache keys and
+// payloads. Exercised end-to-end on the real e1 experiment.
+TEST_F(DriverTest, ThreadCountDoesNotChangeKeysOrPayloads) {
+  const ExperimentRegistry registry = bench::study_registry();
+
+  DriverOptions one = base_options();
+  one.quiet = true;
+  one.experiments = "e1";
+  one.cache_dir = (dir_ / "cache1").string();
+  one.json_out = (dir_ / "one.json").string();
+  one.threads = 1;
+  const RunOutcome run_one = run_driver(registry, one, std::cout);
+  ASSERT_EQ(run_one.exit_code, 0);
+
+  DriverOptions eight = one;
+  eight.cache_dir = (dir_ / "cache8").string();
+  eight.json_out = (dir_ / "eight.json").string();
+  eight.threads = 8;
+  const RunOutcome run_eight = run_driver(registry, eight, std::cout);
+  ASSERT_EQ(run_eight.exit_code, 0);
+
+  // Identical cache keys...
+  ASSERT_EQ(run_one.experiments.size(), 1u);
+  ASSERT_EQ(run_eight.experiments.size(), 1u);
+  EXPECT_EQ(run_one.experiments[0].key_hex, run_eight.experiments[0].key_hex);
+  // ...identical stored entry bytes...
+  const fs::path entry1 =
+      dir_ / "cache1" / (run_one.experiments[0].key_hex + ".vdc");
+  const fs::path entry8 =
+      dir_ / "cache8" / (run_eight.experiments[0].key_hex + ".vdc");
+  EXPECT_EQ(slurp(entry1), slurp(entry8));
+  // ...identical JSON exports.
+  EXPECT_EQ(slurp(dir_ / "one.json"), slurp(dir_ / "eight.json"));
+}
+
+}  // namespace
+}  // namespace vdbench::cli

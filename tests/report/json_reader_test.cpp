@@ -1,0 +1,109 @@
+#include "report/json_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "report/json.h"
+
+namespace vdbench::report {
+namespace {
+
+TEST(JsonReaderTest, ParsesLiterals) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_EQ(parse_json("true")->as_bool(), true);
+  EXPECT_EQ(parse_json("false")->as_bool(), false);
+}
+
+TEST(JsonReaderTest, ParsesNumbers) {
+  EXPECT_DOUBLE_EQ(parse_json("0")->as_number().value(), 0.0);
+  EXPECT_DOUBLE_EQ(parse_json("-17")->as_number().value(), -17.0);
+  EXPECT_DOUBLE_EQ(parse_json("3.25")->as_number().value(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_json("1e3")->as_number().value(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_json("-2.5E-2")->as_number().value(), -0.025);
+}
+
+TEST(JsonReaderTest, ParsesStringsWithEscapes) {
+  EXPECT_EQ(*parse_json(R"("plain")")->as_string(), "plain");
+  EXPECT_EQ(*parse_json(R"("a\"b\\c\/d")")->as_string(), "a\"b\\c/d");
+  EXPECT_EQ(*parse_json(R"("tab\there\nnewline")")->as_string(),
+            "tab\there\nnewline");
+  // \uXXXX escapes decode to UTF-8 bytes (1-, 2- and 3-byte sequences).
+  EXPECT_EQ(*parse_json("\"\\u0041\"")->as_string(), "A");
+  EXPECT_EQ(*parse_json("\"\\u00e9\"")->as_string(), "\xc3\xa9");
+  EXPECT_EQ(*parse_json("\"\\u20ac\"")->as_string(), "\xe2\x82\xac");
+  EXPECT_FALSE(parse_json("\"\\u12\"").has_value());
+  EXPECT_FALSE(parse_json("\"\\q\"").has_value());
+}
+
+TEST(JsonReaderTest, ParsesArraysAndObjects) {
+  const auto doc = parse_json(R"({"xs":[1,2,3],"nested":{"ok":true}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const auto* xs = doc->member("xs")->as_array();
+  ASSERT_NE(xs, nullptr);
+  ASSERT_EQ(xs->size(), 3u);
+  EXPECT_DOUBLE_EQ((*xs)[2].as_number().value(), 3.0);
+  EXPECT_EQ(doc->member("nested")->member("ok")->as_bool(), true);
+  EXPECT_EQ(doc->member("absent"), nullptr);
+}
+
+TEST(JsonReaderTest, AccessorsRejectWrongKind) {
+  const auto doc = parse_json("[1]");
+  EXPECT_EQ(doc->as_bool(), std::nullopt);
+  EXPECT_EQ(doc->as_number(), std::nullopt);
+  EXPECT_EQ(doc->as_string(), nullptr);
+  EXPECT_EQ(doc->member("x"), nullptr);
+}
+
+TEST(JsonReaderTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("{").has_value());
+  EXPECT_FALSE(parse_json("[1,]").has_value());
+  EXPECT_FALSE(parse_json(R"({"a":})").has_value());
+  EXPECT_FALSE(parse_json(R"({"a" 1})").has_value());
+  EXPECT_FALSE(parse_json("nul").has_value());
+  EXPECT_FALSE(parse_json("\"unterminated").has_value());
+  EXPECT_FALSE(parse_json("01").has_value());
+  EXPECT_FALSE(parse_json("NaN").has_value());
+}
+
+TEST(JsonReaderTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(parse_json("1 2").has_value());
+  EXPECT_FALSE(parse_json("{} extra").has_value());
+  EXPECT_TRUE(parse_json("  {}  ").has_value());
+}
+
+TEST(JsonReaderTest, RejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(parse_json(deep).has_value());
+  std::string shallow = "[[[[[[[[[[1]]]]]]]]]]";
+  EXPECT_TRUE(parse_json(shallow).has_value());
+}
+
+TEST(JsonReaderTest, RoundTripsJsonWriterOutput) {
+  // The parser's contract: everything JsonWriter emits parses back.
+  JsonWriter w;
+  w.begin_object();
+  w.key("text").value("line1\nline2\t\"quoted\"");
+  w.key("count").value(std::uint64_t{7});
+  w.key("ratio").value(0.375);
+  w.key("flag").value(true);
+  w.key("items").begin_array();
+  w.value("a");
+  w.value("b");
+  w.end_array();
+  w.end_object();
+  const auto doc = parse_json(w.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(*doc->member("text")->as_string(), "line1\nline2\t\"quoted\"");
+  EXPECT_DOUBLE_EQ(doc->member("count")->as_number().value(), 7.0);
+  EXPECT_DOUBLE_EQ(doc->member("ratio")->as_number().value(), 0.375);
+  EXPECT_EQ(doc->member("flag")->as_bool(), true);
+  EXPECT_EQ(doc->member("items")->as_array()->size(), 2u);
+}
+
+}  // namespace
+}  // namespace vdbench::report

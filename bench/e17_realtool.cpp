@@ -1,0 +1,321 @@
+// E17 — a real tool in the simulated arena: the mini static analyzer
+// (src/sast) runs over the workload's emitted source corpus and is
+// evaluated through the exact same matching → confusion → metric pipeline
+// as four simulated archetypes. Because the analyzer's blind spots are a
+// documented contract with the code emitter (vdsim/emit.h), its confusion
+// matrix is a deterministic artifact — and the experiment can check the
+// paper's headline claim on a tool that actually parses code:
+// prevalence-invariant metrics transfer between corpora while accuracy
+// and precision swing with the base rate.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "experiments.h"
+#include "report/table.h"
+#include "sast/adapter.h"
+#include "study_common.h"
+#include "vdsim/campaign.h"
+#include "vdsim/emit.h"
+#include "vdsim/runner.h"
+
+namespace vdbench::bench {
+
+vdsim::WorkloadSpec e17_corpus_spec() {
+  vdsim::WorkloadSpec spec;
+  spec.num_services = 120;
+  spec.prevalence = 0.10;
+  return spec;
+}
+
+namespace {
+
+constexpr double kLowPrevalence = 0.02;
+constexpr double kSimQuality = 0.65;
+constexpr vdsim::CostModel kCosts{10.0, 1.0};
+
+const std::vector<core::MetricId> kMetrics = {
+    core::MetricId::kRecall,       core::MetricId::kPrecision,
+    core::MetricId::kFMeasure,     core::MetricId::kAccuracy,
+    core::MetricId::kMcc,          core::MetricId::kInformedness,
+    core::MetricId::kAuc,          core::MetricId::kNormalizedExpectedCost};
+
+std::vector<vdsim::ToolProfile> simulated_cohort() {
+  using vdsim::ToolArchetype;
+  std::vector<vdsim::ToolProfile> tools;
+  tools.push_back(vdsim::make_archetype_profile(ToolArchetype::kStaticAnalyzer,
+                                                kSimQuality, "SA-sim"));
+  tools.push_back(vdsim::make_archetype_profile(
+      ToolArchetype::kPenetrationTester, kSimQuality, "PT-sim"));
+  tools.push_back(vdsim::make_archetype_profile(ToolArchetype::kFuzzer,
+                                                kSimQuality, "FZ-sim"));
+  tools.push_back(vdsim::make_archetype_profile(ToolArchetype::kManualReview,
+                                                kSimQuality, "MR-sim"));
+  return tools;
+}
+
+struct Cohort {
+  std::vector<vdsim::BenchmarkResult> results;  ///< MiniSAST first
+  vdsim::ToolReport sast_report;
+  sast::SastRunStats sast_stats;
+};
+
+Cohort run_cohort(const vdsim::Workload& workload,
+                  const sast::Analyzer& analyzer, std::uint64_t tool_seed) {
+  Cohort cohort;
+  cohort.sast_report =
+      sast::run_sast(workload, analyzer, &cohort.sast_stats);
+  cohort.results.push_back(
+      vdsim::evaluate_report(cohort.sast_report, workload, kCosts));
+  stats::Rng rng(tool_seed);
+  std::vector<vdsim::BenchmarkResult> sim =
+      vdsim::run_benchmarks(simulated_cohort(), workload, kCosts, rng);
+  for (vdsim::BenchmarkResult& r : sim) cohort.results.push_back(std::move(r));
+  return cohort;
+}
+
+/// Instances where expected_detected() disagrees with the report: a
+/// nonzero count would mean a rule's documented blind spot is not what the
+/// engine actually does.
+std::size_t contract_mismatches(const vdsim::Workload& workload,
+                                const vdsim::ToolReport& report,
+                                const sast::AnalyzerConfig& config) {
+  std::set<std::tuple<std::size_t, std::size_t, vdsim::VulnClass>> detected;
+  for (const vdsim::Finding& f : report.findings)
+    detected.insert({f.service_index, f.site_index, f.claimed_class});
+  std::size_t mismatches = 0;
+  for (const vdsim::Service& service : workload.services()) {
+    for (const vdsim::VulnInstance& v : service.vulns) {
+      const bool expected = sast::expected_detected(v, config);
+      const bool actual = detected.count(
+                              {v.service_index, v.site_index, v.vuln_class}) > 0;
+      if (expected != actual) ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+/// Clean sites the emitter rendered in the analyzer's FP-bait shape
+/// (source → to_int → sink); each one must yield exactly one false alarm.
+std::uint64_t typed_taint_clean_sites(const vdsim::Workload& workload) {
+  std::uint64_t count = 0;
+  for (std::size_t s = 0; s < workload.services().size(); ++s) {
+    const vdsim::Service& service = workload.services()[s];
+    for (std::size_t site = 0; site < service.candidate_sites; ++site) {
+      if (workload.vuln_at(s, site) != nullptr) continue;
+      if (vdsim::clean_variant(s, site) == vdsim::CleanVariant::kTypedTaint)
+        ++count;
+    }
+  }
+  return count;
+}
+
+std::string_view blind_spot_note(vdsim::VulnClass c) {
+  switch (c) {
+    case vdsim::VulnClass::kSqlInjection:
+      return "misses depth-3 helper nesting (d >= 0.85)";
+    case vdsim::VulnClass::kXss:
+      return "misses format()-built markup (d >= 0.50)";
+    case vdsim::VulnClass::kCommandInjection:
+      return "no rule (zero recall)";
+    case vdsim::VulnClass::kPathTraversal:
+      return "trusts to_lower() (d >= 0.60)";
+    case vdsim::VulnClass::kBufferOverflow:
+      return "misses sink-in-helper (d >= 0.55)";
+    case vdsim::VulnClass::kIntegerOverflow:
+      return "no rule (zero recall)";
+    case vdsim::VulnClass::kUseAfterFree:
+      return "no rule (zero recall)";
+    case vdsim::VulnClass::kWeakCrypto:
+      return "misses concat'd literals (d >= 0.50)";
+  }
+  return "";
+}
+
+void print_confusion_table(std::ostream& out,
+                           const std::vector<vdsim::BenchmarkResult>& results) {
+  report::Table table(
+      {"tool", "TP", "FP", "TN", "FN", "precision", "recall"});
+  for (const vdsim::BenchmarkResult& r : results) {
+    const core::ConfusionMatrix& cm = r.context.cm;
+    table.add_row({r.tool_name, std::to_string(cm.tp), std::to_string(cm.fp),
+                   std::to_string(cm.tn), std::to_string(cm.fn),
+                   report::format_value(cm.ppv(), 3),
+                   report::format_value(cm.tpr(), 3)});
+  }
+  table.print(out);
+}
+
+void print_metric_table(std::ostream& out,
+                        const std::vector<vdsim::BenchmarkResult>& results) {
+  std::vector<std::string> headers = {"tool"};
+  for (const core::MetricId id : kMetrics)
+    headers.push_back(std::string(core::metric_info(id).key));
+  report::Table table(std::move(headers));
+  for (const vdsim::BenchmarkResult& r : results) {
+    std::vector<std::string> row = {r.tool_name};
+    for (const core::MetricId id : kMetrics)
+      row.push_back(report::format_value(r.metric(id), 3));
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+}
+
+void run(cli::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out;
+  const vdsim::WorkloadSpec spec = e17_corpus_spec();
+
+  out << "E17: real mini static analyzer (MiniSAST over emitted source) "
+         "vs simulated archetypes\n(corpus "
+      << spec.num_services << " services, prevalence " << spec.prevalence
+      << ", cost model FN:FP = 10:1)\n\n";
+
+  const sast::Analyzer analyzer(sast::AnalyzerConfig{},
+                                sast::RuleRegistry::default_rules());
+
+  stats::Rng workload_rng(kStudySeed);
+  const vdsim::Workload workload = generate_workload(spec, workload_rng);
+
+  const Cohort cohort = [&] {
+    const auto scope = ctx.timer.scope("base corpus cohort");
+    return run_cohort(workload, analyzer, kStudySeed + 1);
+  }();
+  const vdsim::BenchmarkResult& sast_result = cohort.results.front();
+
+  out << "Corpus: " << workload.total_sites() << " candidate sites, "
+      << workload.total_vulns() << " seeded vulnerabilities, "
+      << report::format_value(workload.total_kloc(), 1) << " kLoC.\n";
+  out << "MiniSAST parsed " << cohort.sast_stats.functions
+      << " functions, traced " << cohort.sast_stats.sink_flows
+      << " sink flows, reported " << cohort.sast_stats.findings
+      << " findings (" << cohort.sast_stats.suppressed
+      << " below the confidence floor).\n\n";
+
+  out << "Confusion matrices (real tool first):\n";
+  print_confusion_table(out, cohort.results);
+  out << "\nMetric values:\n";
+  print_metric_table(out, cohort.results);
+
+  out << "\nTool rankings induced by each metric (best first):\n";
+  report::Table ranks({"metric", "ranking"});
+  for (const core::MetricId id : kMetrics) {
+    const std::vector<std::size_t> order =
+        vdsim::rank_tools_by_metric(cohort.results, id);
+    std::string line;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (i > 0) line += " > ";
+      line += cohort.results[order[i]].tool_name;
+    }
+    ranks.add_row({std::string(core::metric_info(id).key), line});
+  }
+  ranks.print(out);
+
+  out << "\nMiniSAST per-class recall vs the rule set's documented blind "
+         "spots:\n";
+  report::Table by_class(
+      {"class", "seeded", "TP", "recall", "expected", "blind spot"});
+  for (const vdsim::VulnClass c : vdsim::all_vuln_classes()) {
+    const vdsim::ClassOutcome& outcome =
+        sast_result.by_class[vdsim::vuln_class_index(c)];
+    std::uint64_t expected_tp = 0;
+    for (const vdsim::Service& service : workload.services())
+      for (const vdsim::VulnInstance& v : service.vulns)
+        if (v.vuln_class == c &&
+            sast::expected_detected(v, analyzer.config()))
+          ++expected_tp;
+    const std::uint64_t seeded = outcome.tp + outcome.fn;
+    const double expected_recall =
+        seeded == 0 ? std::numeric_limits<double>::quiet_NaN()
+                    : static_cast<double>(expected_tp) /
+                          static_cast<double>(seeded);
+    by_class.add_row({std::string(vuln_class_name(c)), std::to_string(seeded),
+                      std::to_string(outcome.tp),
+                      report::format_value(outcome.recall(), 3),
+                      report::format_value(expected_recall, 3),
+                      std::string(blind_spot_note(c))});
+  }
+  by_class.print(out);
+
+  const std::size_t mismatches =
+      contract_mismatches(workload, cohort.sast_report, analyzer.config());
+  const std::uint64_t bait_sites = typed_taint_clean_sites(workload);
+  out << "\nBlind-spot contract: " << mismatches
+      << " mismatches between expected_detected() and the report over "
+      << workload.total_vulns() << " instances; " << sast_result.context.cm.fp
+      << " false alarms vs " << bait_sites
+      << " typed-taint bait sites (must be equal).\n";
+
+  // Prevalence shift: same analyzer, same simulated profiles, sparser
+  // corpus. Per-instance detection is (tool-side) prevalence-independent,
+  // so invariant metrics should transfer and frame-dependent ones not.
+  vdsim::WorkloadSpec low_spec = spec;
+  low_spec.prevalence = kLowPrevalence;
+  stats::Rng low_rng(kStudySeed + 2);
+  const vdsim::Workload low_workload = generate_workload(low_spec, low_rng);
+  const Cohort low_cohort = [&] {
+    const auto scope = ctx.timer.scope("low-prevalence cohort");
+    return run_cohort(low_workload, analyzer, kStudySeed + 3);
+  }();
+
+  out << "\nMetric shift when prevalence drops " << spec.prevalence << " -> "
+      << kLowPrevalence << " (|value_low - value_base|):\n";
+  report::Table shift(
+      {"metric", "invariant?", "MiniSAST |delta|", "simulated mean |delta|"});
+  double max_invariant_real = 0.0;
+  double precision_real = 0.0;
+  double f1_real = 0.0;
+  for (const core::MetricId id : kMetrics) {
+    const core::MetricInfo& info = core::metric_info(id);
+    const double real_delta = std::fabs(low_cohort.results[0].metric(id) -
+                                        cohort.results[0].metric(id));
+    double sim_delta = 0.0;
+    for (std::size_t t = 1; t < cohort.results.size(); ++t)
+      sim_delta += std::fabs(low_cohort.results[t].metric(id) -
+                             cohort.results[t].metric(id));
+    sim_delta /= static_cast<double>(cohort.results.size() - 1);
+    if (info.prevalence_invariant)
+      max_invariant_real = std::max(max_invariant_real, real_delta);
+    if (id == core::MetricId::kPrecision) precision_real = real_delta;
+    if (id == core::MetricId::kFMeasure) f1_real = real_delta;
+    shift.add_row({std::string(info.key),
+                   info.prevalence_invariant ? "yes" : "no",
+                   report::format_value(real_delta, 3),
+                   report::format_value(sim_delta, 3)});
+  }
+  shift.print(out);
+
+  out << "\nHeadline check: for the REAL tool, every prevalence-invariant "
+         "metric moved by at most "
+      << report::format_value(max_invariant_real, 3)
+      << " across the prevalence shift, while precision moved by "
+      << report::format_value(precision_real, 3) << " and F1 by "
+      << report::format_value(f1_real, 3)
+      << " — the paper's robustness ordering holds beyond simulation.\n"
+         "(Accuracy's small shift is no comfort: with TN-dominated frames "
+         "it tracks 1 - prevalence, not detection ability — the E3 "
+         "pathology.)\n";
+  out << "SQL-injection recall "
+      << report::format_value(
+             sast_result.by_class[vdsim::vuln_class_index(
+                                      vdsim::VulnClass::kSqlInjection)]
+                 .recall(),
+             3)
+      << " (acceptance floor 0.90); misses are exactly the depth-3 "
+         "helper-nesting instances.\n";
+}
+
+}  // namespace
+
+void register_e17(cli::ExperimentRegistry& registry) {
+  registry.add({"e17",
+                "real mini-SAST vs simulated archetypes",
+                "realtool{services=120;prev=0.10;lowprev=0.02;depth=2;"
+                "minconf=0.30;quality=0.65;costs=10:1}",
+                true, run});
+}
+
+}  // namespace vdbench::bench

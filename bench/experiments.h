@@ -9,6 +9,7 @@
 #pragma once
 
 #include "cli/experiment.h"
+#include "vdsim/workload.h"
 
 namespace vdbench::bench {
 
@@ -28,8 +29,14 @@ void register_e13(cli::ExperimentRegistry& registry);
 void register_e14(cli::ExperimentRegistry& registry);
 void register_e15(cli::ExperimentRegistry& registry);
 void register_e16(cli::ExperimentRegistry& registry);
+void register_e17(cli::ExperimentRegistry& registry);
 
-/// The full study registry, E1–E16 in order.
+/// The base corpus E17 benchmarks the real analyzer on; exported so tests
+/// can regenerate the identical workload and assert the blind-spot
+/// contract against it.
+[[nodiscard]] vdsim::WorkloadSpec e17_corpus_spec();
+
+/// The full study registry, E1–E17 in order.
 [[nodiscard]] cli::ExperimentRegistry study_registry();
 
 }  // namespace vdbench::bench

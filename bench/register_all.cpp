@@ -20,6 +20,7 @@ cli::ExperimentRegistry study_registry() {
   register_e14(registry);
   register_e15(registry);
   register_e16(registry);
+  register_e17(registry);
   return registry;
 }
 

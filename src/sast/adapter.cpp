@@ -1,0 +1,100 @@
+#include "sast/adapter.h"
+
+#include <charconv>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sast/parser.h"
+#include "stats/parallel.h"
+#include "vdsim/emit.h"
+
+namespace vdbench::sast {
+
+namespace {
+
+// "site_42" -> 42; helpers and anything else -> nullopt.
+std::optional<std::size_t> site_index_of(std::string_view function_name) {
+  constexpr std::string_view kPrefix = "site_";
+  if (function_name.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  const std::string_view digits = function_name.substr(kPrefix.size());
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc() || ptr != digits.data() + digits.size())
+    return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+double modeled_analysis_seconds(double total_kloc) {
+  return 8.0 + total_kloc / 2.5;
+}
+
+vdsim::ToolReport run_sast(const vdsim::Workload& workload,
+                           const Analyzer& analyzer, SastRunStats* stats) {
+  const vdsim::CodeEmitter emitter(workload);
+  const std::size_t num_services = workload.services().size();
+
+  // Determinism discipline: task i emits+analyzes service i and writes only
+  // slot i; the merge below walks slots in index order.
+  std::vector<FileAnalysis> per_service(num_services);
+  stats::parallel_for_indexed(num_services, [&](std::size_t s) {
+    per_service[s] =
+        analyzer.analyze_source(emitter.emit_service(s).text);
+  });
+
+  vdsim::ToolReport report;
+  report.tool_name = std::string(kSastToolName);
+  report.analysis_seconds = modeled_analysis_seconds(workload.total_kloc());
+  if (stats != nullptr) {
+    *stats = SastRunStats{};
+    stats->services = num_services;
+  }
+  for (std::size_t s = 0; s < num_services; ++s) {
+    const FileAnalysis& analysis = per_service[s];
+    if (stats != nullptr) {
+      stats->functions += analysis.functions;
+      stats->sink_flows += analysis.sink_flows;
+      stats->findings += analysis.findings.size();
+      stats->suppressed += analysis.suppressed;
+    }
+    for (const RuleFinding& finding : analysis.findings) {
+      const std::optional<std::size_t> site =
+          site_index_of(finding.function_name);
+      if (!site) continue;  // helper-attributed findings cannot occur today
+      vdsim::Finding f;
+      f.service_index = s;
+      f.site_index = *site;
+      f.claimed_class = finding.vuln_class;
+      f.confidence = finding.confidence;
+      report.findings.push_back(f);
+    }
+  }
+  return report;
+}
+
+bool expected_detected(const vdsim::VulnInstance& instance,
+                       const AnalyzerConfig& config) {
+  const double d = instance.difficulty;
+  switch (instance.vuln_class) {
+    case vdsim::VulnClass::kSqlInjection:
+      return vdsim::sqli_indirection_depth(d) <= config.taint.max_call_depth;
+    case vdsim::VulnClass::kXss:
+      return d < vdsim::kXssFormatDifficulty;
+    case vdsim::VulnClass::kBufferOverflow:
+      return d < vdsim::kBofHelperDifficulty;
+    case vdsim::VulnClass::kPathTraversal:
+      return d < vdsim::kPathLowerDifficulty;
+    case vdsim::VulnClass::kWeakCrypto:
+      return d < vdsim::kCredConcatDifficulty;
+    case vdsim::VulnClass::kCommandInjection:
+    case vdsim::VulnClass::kIntegerOverflow:
+    case vdsim::VulnClass::kUseAfterFree:
+      return false;  // no rule in the default registry
+  }
+  return false;
+}
+
+}  // namespace vdbench::sast

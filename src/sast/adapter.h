@@ -1,0 +1,51 @@
+// Adapter: runs the real static analyzer over a workload's emitted corpus
+// and produces a vdsim::ToolReport, so MiniSAST drops into the existing
+// run_tool → ground-truth matching → confusion-matrix → metrics pipeline
+// unchanged, side by side with the simulated archetypes.
+//
+// Analysis is parallelised per service on stats::ParallelExecutor under the
+// engine's determinism discipline (task i writes only slot i; results are
+// concatenated in service order afterwards), so the report is bit-identical
+// for any VDBENCH_THREADS and the experiment that wraps it (E17) is
+// cacheable. The report's analysis_seconds comes from a deterministic
+// timing model, never a wall clock.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "sast/analyzer.h"
+#include "vdsim/tool.h"
+#include "vdsim/workload.h"
+
+namespace vdbench::sast {
+
+inline constexpr std::string_view kSastToolName = "MiniSAST";
+
+/// Corpus-wide counters of one analyzer run.
+struct SastRunStats {
+  std::size_t services = 0;
+  std::size_t functions = 0;
+  std::size_t sink_flows = 0;
+  std::size_t findings = 0;
+  std::size_t suppressed = 0;
+};
+
+/// Deterministic timing model: startup + kLoC at a static-analyzer-like
+/// scan rate (the engine is deterministic; wall clock is not replayable).
+[[nodiscard]] double modeled_analysis_seconds(double total_kloc);
+
+/// Emit the workload's corpus, analyze every service (in parallel), and
+/// assemble the findings into a ToolReport attributed to kSastToolName.
+[[nodiscard]] vdsim::ToolReport run_sast(const vdsim::Workload& workload,
+                                         const Analyzer& analyzer,
+                                         SastRunStats* stats = nullptr);
+
+/// Ground-truth predicate tying the emitter's difficulty thresholds
+/// (vdsim/emit.h) to the default rule set's blind spots: true when MiniSAST
+/// (with `config`'s inlining budget) detects this seeded instance. Tests
+/// and E17 use it to assert the blind spots are reproduced exactly.
+[[nodiscard]] bool expected_detected(const vdsim::VulnInstance& instance,
+                                     const AnalyzerConfig& config);
+
+}  // namespace vdbench::sast

@@ -1,0 +1,43 @@
+#include "sast/analyzer.h"
+
+#include <stdexcept>
+
+#include "sast/parser.h"
+
+namespace vdbench::sast {
+
+void AnalyzerConfig::validate() const {
+  if (!(min_confidence >= 0.0 && min_confidence <= 1.0))
+    throw std::invalid_argument("AnalyzerConfig: min_confidence in [0,1]");
+}
+
+Analyzer::Analyzer(AnalyzerConfig config, RuleRegistry rules)
+    : config_(config), rules_(std::move(rules)) {
+  config_.validate();
+}
+
+FileAnalysis Analyzer::analyze_source(std::string_view source) const {
+  return analyze_program(parse(source));
+}
+
+FileAnalysis Analyzer::analyze_program(const Program& program) const {
+  FileAnalysis analysis;
+  analysis.functions = program.functions.size();
+  for (const Function& fn : program.functions) {
+    const std::vector<SinkFlow> flows =
+        analyze_function(program, fn, config_.taint);
+    analysis.sink_flows += flows.size();
+    for (const SinkFlow& flow : flows) {
+      for (RuleFinding& finding : rules_.apply(flow)) {
+        if (finding.confidence < config_.min_confidence) {
+          ++analysis.suppressed;
+          continue;
+        }
+        analysis.findings.push_back(std::move(finding));
+      }
+    }
+  }
+  return analysis;
+}
+
+}  // namespace vdbench::sast

@@ -1,0 +1,57 @@
+// Analyzer facade: source text in, findings out.
+//
+// Pipeline per file: lex → parse → per-function taint interpretation →
+// rule registry over every sink flow. Output order is fully deterministic:
+// functions in program order, flows in statement order, rules in registry
+// order. Findings below the confidence floor are suppressed (the
+// operating-point knob a real tool exposes).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "sast/rules.h"
+#include "sast/taint.h"
+
+namespace vdbench::sast {
+
+struct AnalyzerConfig {
+  TaintConfig taint;
+  /// Findings with confidence below this are suppressed.
+  double min_confidence = 0.30;
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void validate() const;
+};
+
+/// Result of analyzing one source file.
+struct FileAnalysis {
+  std::vector<RuleFinding> findings;
+  std::size_t functions = 0;
+  std::size_t sink_flows = 0;
+  std::size_t suppressed = 0;  ///< findings dropped by the confidence floor
+};
+
+class Analyzer {
+ public:
+  /// Validates the config; the registry is taken as-is.
+  Analyzer(AnalyzerConfig config, RuleRegistry rules);
+
+  [[nodiscard]] const AnalyzerConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const RuleRegistry& rules() const noexcept { return rules_; }
+
+  /// Lex + parse + analyze. Throws LexError/ParseError on malformed input.
+  [[nodiscard]] FileAnalysis analyze_source(std::string_view source) const;
+
+  /// Analyze an already-parsed program.
+  [[nodiscard]] FileAnalysis analyze_program(const Program& program) const;
+
+ private:
+  AnalyzerConfig config_;
+  RuleRegistry rules_;
+};
+
+}  // namespace vdbench::sast

@@ -1,0 +1,63 @@
+#include "sast/ast.h"
+
+namespace vdbench::sast {
+
+const Function* Program::find(std::string_view name) const {
+  for (const Function& fn : functions)
+    if (fn.name == name) return &fn;
+  return nullptr;
+}
+
+std::string to_source(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kStringLit:
+      return "\"" + expr.text + "\"";
+    case Expr::Kind::kNumberLit:
+    case Expr::Kind::kIdent:
+      return expr.text;
+    case Expr::Kind::kCall: {
+      std::string out = expr.text + "(";
+      for (std::size_t i = 0; i < expr.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += to_source(expr.args[i]);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string to_source(const Program& program) {
+  std::string out;
+  for (const Function& fn : program.functions) {
+    out += "fn " + fn.name + "(";
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += fn.params[i];
+    }
+    out += ") {\n";
+    for (const Stmt& stmt : fn.body) {
+      out += "  ";
+      switch (stmt.kind) {
+        case Stmt::Kind::kLet:
+          out += "let " + stmt.target + " = " + to_source(stmt.value);
+          break;
+        case Stmt::Kind::kAssign:
+          out += stmt.target + " = " + to_source(stmt.value);
+          break;
+        case Stmt::Kind::kReturn:
+          out += "return " + to_source(stmt.value);
+          break;
+        case Stmt::Kind::kExpr:
+          out += to_source(stmt.value);
+          break;
+      }
+      out += ";\n";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace vdbench::sast

@@ -1,0 +1,55 @@
+// Abstract syntax tree of the mini-language.
+//
+// Deliberately tiny: four statement forms and four expression forms are
+// enough to express every vulnerability pattern the CodeEmitter seeds
+// (source → transform/helper chain → sink) while keeping the taint engine
+// exhaustive over the language — there is no construct the analyzer cannot
+// model, so every miss is a documented rule blind spot, never a parser gap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdbench::sast {
+
+struct Expr {
+  enum class Kind : std::uint8_t { kStringLit, kNumberLit, kIdent, kCall };
+  Kind kind = Kind::kStringLit;
+  /// Literal contents, identifier spelling, or callee name.
+  std::string text;
+  /// Call arguments (kCall only).
+  std::vector<Expr> args;
+};
+
+struct Stmt {
+  enum class Kind : std::uint8_t { kLet, kAssign, kReturn, kExpr };
+  Kind kind = Kind::kExpr;
+  /// Bound/assigned variable (kLet/kAssign only).
+  std::string target;
+  Expr value;
+  std::size_t line = 0;
+};
+
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<Stmt> body;
+};
+
+struct Program {
+  std::vector<Function> functions;
+
+  /// Function by name, or nullptr. Linear scan: programs are per-service
+  /// and small, and lookups happen only on user-function calls.
+  [[nodiscard]] const Function* find(std::string_view name) const;
+};
+
+/// Canonical source rendering (one statement per line, two-space indent).
+/// parse(to_source(p)) reproduces `p` exactly — the round-trip contract the
+/// unit tests pin down.
+[[nodiscard]] std::string to_source(const Program& program);
+[[nodiscard]] std::string to_source(const Expr& expr);
+
+}  // namespace vdbench::sast

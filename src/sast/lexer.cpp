@@ -1,0 +1,113 @@
+#include "sast/lexer.h"
+
+#include <cctype>
+
+namespace vdbench::sast {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::string_view token_type_name(TokenType type) {
+  switch (type) {
+    case TokenType::kFn: return "'fn'";
+    case TokenType::kLet: return "'let'";
+    case TokenType::kReturn: return "'return'";
+    case TokenType::kIdent: return "identifier";
+    case TokenType::kString: return "string literal";
+    case TokenType::kNumber: return "number literal";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kLBrace: return "'{'";
+    case TokenType::kRBrace: return "'}'";
+    case TokenType::kComma: return "','";
+    case TokenType::kSemicolon: return "';'";
+    case TokenType::kAssign: return "'='";
+    case TokenType::kEndOfFile: return "end of file";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && is_ident_char(source[i])) ++i;
+      std::string word(source.substr(start, i - start));
+      TokenType type = TokenType::kIdent;
+      if (word == "fn")
+        type = TokenType::kFn;
+      else if (word == "let")
+        type = TokenType::kLet;
+      else if (word == "return")
+        type = TokenType::kReturn;
+      tokens.push_back({type, std::move(word), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const std::size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      tokens.push_back(
+          {TokenType::kNumber, std::string(source.substr(start, i - start)),
+           line});
+      continue;
+    }
+    if (c == '"') {
+      const std::size_t start = ++i;
+      while (i < n && source[i] != '"' && source[i] != '\n') ++i;
+      if (i >= n || source[i] != '"')
+        throw LexError("line " + std::to_string(line) +
+                       ": unterminated string literal");
+      tokens.push_back(
+          {TokenType::kString, std::string(source.substr(start, i - start)),
+           line});
+      ++i;  // closing quote
+      continue;
+    }
+    TokenType type;
+    switch (c) {
+      case '(': type = TokenType::kLParen; break;
+      case ')': type = TokenType::kRParen; break;
+      case '{': type = TokenType::kLBrace; break;
+      case '}': type = TokenType::kRBrace; break;
+      case ',': type = TokenType::kComma; break;
+      case ';': type = TokenType::kSemicolon; break;
+      case '=': type = TokenType::kAssign; break;
+      default:
+        throw LexError("line " + std::to_string(line) +
+                       ": unexpected character '" + std::string(1, c) + "'");
+    }
+    tokens.push_back({type, std::string(), line});
+    ++i;
+  }
+  tokens.push_back({TokenType::kEndOfFile, std::string(), line});
+  return tokens;
+}
+
+}  // namespace vdbench::sast

@@ -1,0 +1,58 @@
+// Lexer for the vdsim mini-language.
+//
+// The mini-language is the concrete syntax the CodeEmitter
+// (src/vdsim/emit.h) renders workloads into: a small imperative language of
+// functions, `let` bindings, assignments, calls and string/number literals.
+// The sast engine consumes it through this lexer and the recursive-descent
+// parser (parser.h) — a real front end, so the analyzer's verdicts are
+// artifacts of analysis rules over code, not of sampled probabilities.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdbench::sast {
+
+enum class TokenType : std::uint8_t {
+  kFn,
+  kLet,
+  kReturn,
+  kIdent,
+  kString,
+  kNumber,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kAssign,
+  kEndOfFile,
+};
+
+/// Display name, e.g. "identifier".
+[[nodiscard]] std::string_view token_type_name(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEndOfFile;
+  /// Identifier spelling, unquoted string contents, or number digits;
+  /// empty for punctuation.
+  std::string text;
+  std::size_t line = 1;
+};
+
+/// Raised on malformed input (stray characters, unterminated strings).
+class LexError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Tokenize `source`. Comments run from '#' to end of line. String literals
+/// use double quotes and may not contain quotes or newlines (the emitter
+/// never produces them). The result always ends with a kEndOfFile token.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace vdbench::sast

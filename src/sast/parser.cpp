@@ -1,0 +1,122 @@
+#include "sast/parser.h"
+
+namespace vdbench::sast {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  Program parse_program() {
+    Program program;
+    while (!at(TokenType::kEndOfFile))
+      program.functions.push_back(parse_function());
+    return program;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenType type) const { return peek().type == type; }
+
+  const Token& expect(TokenType type) {
+    if (!at(type))
+      throw ParseError("line " + std::to_string(peek().line) + ": expected " +
+                       std::string(token_type_name(type)) + ", found " +
+                       std::string(token_type_name(peek().type)));
+    return tokens_[pos_++];
+  }
+
+  Function parse_function() {
+    expect(TokenType::kFn);
+    Function fn;
+    fn.name = expect(TokenType::kIdent).text;
+    expect(TokenType::kLParen);
+    if (!at(TokenType::kRParen)) {
+      fn.params.push_back(expect(TokenType::kIdent).text);
+      while (at(TokenType::kComma)) {
+        ++pos_;
+        fn.params.push_back(expect(TokenType::kIdent).text);
+      }
+    }
+    expect(TokenType::kRParen);
+    expect(TokenType::kLBrace);
+    while (!at(TokenType::kRBrace)) fn.body.push_back(parse_statement());
+    expect(TokenType::kRBrace);
+    return fn;
+  }
+
+  Stmt parse_statement() {
+    Stmt stmt;
+    stmt.line = peek().line;
+    if (at(TokenType::kLet)) {
+      ++pos_;
+      stmt.kind = Stmt::Kind::kLet;
+      stmt.target = expect(TokenType::kIdent).text;
+      expect(TokenType::kAssign);
+      stmt.value = parse_expr();
+    } else if (at(TokenType::kReturn)) {
+      ++pos_;
+      stmt.kind = Stmt::Kind::kReturn;
+      stmt.value = parse_expr();
+    } else if (at(TokenType::kIdent) &&
+               tokens_[pos_ + 1].type == TokenType::kAssign) {
+      stmt.kind = Stmt::Kind::kAssign;
+      stmt.target = tokens_[pos_].text;
+      pos_ += 2;  // IDENT '='
+      stmt.value = parse_expr();
+    } else {
+      stmt.kind = Stmt::Kind::kExpr;
+      stmt.value = parse_expr();
+    }
+    expect(TokenType::kSemicolon);
+    return stmt;
+  }
+
+  Expr parse_expr() {
+    Expr expr;
+    if (at(TokenType::kString)) {
+      expr.kind = Expr::Kind::kStringLit;
+      expr.text = tokens_[pos_++].text;
+      return expr;
+    }
+    if (at(TokenType::kNumber)) {
+      expr.kind = Expr::Kind::kNumberLit;
+      expr.text = tokens_[pos_++].text;
+      return expr;
+    }
+    const Token& ident = expect(TokenType::kIdent);
+    if (at(TokenType::kLParen)) {
+      ++pos_;
+      expr.kind = Expr::Kind::kCall;
+      expr.text = ident.text;
+      if (!at(TokenType::kRParen)) {
+        expr.args.push_back(parse_expr());
+        while (at(TokenType::kComma)) {
+          ++pos_;
+          expr.args.push_back(parse_expr());
+        }
+      }
+      expect(TokenType::kRParen);
+      return expr;
+    }
+    expr.kind = Expr::Kind::kIdent;
+    expr.text = ident.text;
+    return expr;
+  }
+
+  const std::vector<Token>& tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(const std::vector<Token>& tokens) {
+  if (tokens.empty() || tokens.back().type != TokenType::kEndOfFile)
+    throw ParseError("token stream must end with end-of-file");
+  return Parser(tokens).parse_program();
+}
+
+Program parse(std::string_view source) { return parse(lex(source)); }
+
+}  // namespace vdbench::sast

@@ -1,0 +1,35 @@
+// Recursive-descent parser for the mini-language (see lexer.h for the
+// token set and ast.h for the grammar's target shapes).
+//
+//   program   := { function }
+//   function  := "fn" IDENT "(" [ IDENT { "," IDENT } ] ")" block
+//   block     := "{" { statement } "}"
+//   statement := "let" IDENT "=" expr ";"
+//             |  IDENT "=" expr ";"
+//             |  "return" expr ";"
+//             |  expr ";"
+//   expr      := STRING | NUMBER | IDENT [ "(" [ expr { "," expr } ] ")" ]
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "sast/ast.h"
+#include "sast/lexer.h"
+
+namespace vdbench::sast {
+
+/// Raised on a grammar violation; the message carries the line number.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse a token stream (must end with kEndOfFile, as lex() guarantees).
+[[nodiscard]] Program parse(const std::vector<Token>& tokens);
+
+/// Convenience: lex + parse. Throws LexError or ParseError.
+[[nodiscard]] Program parse(std::string_view source);
+
+}  // namespace vdbench::sast

@@ -1,0 +1,100 @@
+#include "sast/rules.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdbench::sast {
+
+namespace {
+
+// Rule-derived confidence: a per-rule base, reduced for each helper hop the
+// taint crossed (indirection erodes certainty) and sharply reduced when the
+// flow passed through to_int() (typed data is less likely exploitable —
+// which is exactly why the engine's to_int FPs arrive at low confidence).
+double flow_confidence(double base, const TaintValue& arg) {
+  double conf = base - 0.04 * static_cast<double>(arg.helper_depth);
+  if (arg.through_to_int) conf -= 0.25;
+  return std::clamp(conf, 0.05, 0.99);
+}
+
+}  // namespace
+
+void RuleRegistry::add(Rule rule) {
+  if (rule.id.empty())
+    throw std::invalid_argument("RuleRegistry: rule id required");
+  if (!rule.match)
+    throw std::invalid_argument("RuleRegistry: rule matcher required");
+  for (const Rule& existing : rules_)
+    if (existing.id == rule.id)
+      throw std::invalid_argument("RuleRegistry: duplicate rule id " +
+                                  rule.id);
+  rules_.push_back(std::move(rule));
+}
+
+std::vector<RuleFinding> RuleRegistry::apply(const SinkFlow& flow) const {
+  std::vector<RuleFinding> findings;
+  for (const Rule& rule : rules_) {
+    if (rule.sink != flow.sink) continue;
+    if (const std::optional<double> confidence = rule.match(flow))
+      findings.push_back({rule.id, flow.function_name, rule.vuln_class,
+                          *confidence, flow.line});
+  }
+  return findings;
+}
+
+RuleRegistry RuleRegistry::default_rules() {
+  RuleRegistry registry;
+  registry.add(
+      {"SQLI-001", vdsim::VulnClass::kSqlInjection, "exec_sql",
+       "taint routed through more nested helpers than the engine's "
+       "max_call_depth budget is dropped",
+       [](const SinkFlow& flow) -> std::optional<double> {
+         if (flow.args.empty() || !flow.args[0].unsanitized_for(Channel::kSql))
+           return std::nullopt;
+         return flow_confidence(0.92, flow.args[0]);
+       }});
+  registry.add(
+      {"XSS-001", vdsim::VulnClass::kXss, "render_html",
+       "concatenation-only tracking: markup assembled via format() is "
+       "invisible",
+       [](const SinkFlow& flow) -> std::optional<double> {
+         if (flow.args.empty() ||
+             !flow.args[0].unsanitized_for(Channel::kHtml))
+           return std::nullopt;
+         if (flow.args[0].through_format) return std::nullopt;  // blind spot
+         return flow_confidence(0.88, flow.args[0]);
+       }});
+  registry.add(
+      {"BOF-001", vdsim::VulnClass::kBufferOverflow, "memcpy_buf",
+       "sinks inside helper functions are never recorded (summary-only "
+       "interprocedural analysis)",
+       [](const SinkFlow& flow) -> std::optional<double> {
+         if (flow.args.size() < 2 ||
+             !flow.args[1].unsanitized_for(Channel::kBuf))
+           return std::nullopt;
+         return flow_confidence(0.85, flow.args[1]);
+       }});
+  registry.add(
+      {"PATH-001", vdsim::VulnClass::kPathTraversal, "open_file",
+       "treats to_lower() as if it sanitised the path",
+       [](const SinkFlow& flow) -> std::optional<double> {
+         if (flow.args.empty() ||
+             !flow.args[0].unsanitized_for(Channel::kPath))
+           return std::nullopt;
+         if (flow.args[0].through_to_lower) return std::nullopt;  // blind spot
+         return flow_confidence(0.80, flow.args[0]);
+       }});
+  registry.add(
+      {"CRED-001", vdsim::VulnClass::kWeakCrypto, "auth_check",
+       "purely syntactic literal matcher: concatenated literal credentials "
+       "evade it",
+       [](const SinkFlow& flow) -> std::optional<double> {
+         if (flow.args.size() < 2 ||
+             flow.args[1].literal != LiteralKind::kLiteral)
+           return std::nullopt;
+         return 0.95;
+       }});
+  return registry;
+}
+
+}  // namespace vdbench::sast

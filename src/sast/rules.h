@@ -1,0 +1,72 @@
+// Rule registry: per-CWE detection rules over sink flows.
+//
+// Each rule inspects one sink's flows and decides, deterministically,
+// whether to report and with what confidence. Every rule carries a
+// documented blind spot — a code shape it systematically misses — so the
+// analyzer's confusion matrix is a reproducible artifact of the rules:
+//
+//   SQLI-001  exec_sql     misses taint routed through more than
+//                          max_call_depth nested helpers (engine budget)
+//   XSS-001   render_html  concatenation-only tracking: format()-built
+//                          markup is invisible to it
+//   BOF-001   memcpy_buf   intra-procedural sink visibility only: a copy
+//                          inside a helper function is never seen
+//   PATH-001  open_file    trusts to_lower() as if it sanitised the path
+//                          (unsound "any case-normalisation is safe")
+//   CRED-001  auth_check   purely syntactic literal matcher: credentials
+//                          assembled by concat("hun","ter2") evade it
+//
+// Command injection, integer overflow and use-after-free have NO rule at
+// all — the registry-level blind spot that gives the tool zero recall on
+// those classes (real static analyzers ship with exactly this shape of
+// coverage gap).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sast/taint.h"
+#include "vdsim/vuln.h"
+
+namespace vdbench::sast {
+
+/// One reported defect, attributed to the enclosing function.
+struct RuleFinding {
+  std::string rule_id;
+  std::string function_name;
+  vdsim::VulnClass vuln_class{};
+  double confidence = 0.0;
+  std::size_t line = 0;
+};
+
+struct Rule {
+  std::string id;                 ///< e.g. "SQLI-001"
+  vdsim::VulnClass vuln_class{};  ///< class a match claims
+  std::string sink;               ///< sink name the rule inspects
+  std::string blind_spot;         ///< documented deterministic gap
+  /// Confidence in (0,1] when the flow matches, nullopt otherwise.
+  std::function<std::optional<double>(const SinkFlow&)> match;
+};
+
+class RuleRegistry {
+ public:
+  /// Throws std::invalid_argument on duplicate/empty id or missing matcher.
+  void add(Rule rule);
+
+  [[nodiscard]] const std::vector<Rule>& rules() const noexcept {
+    return rules_;
+  }
+
+  /// Findings for one flow, in registry order (deterministic).
+  [[nodiscard]] std::vector<RuleFinding> apply(const SinkFlow& flow) const;
+
+  /// The five built-in CWE rules described above.
+  [[nodiscard]] static RuleRegistry default_rules();
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace vdbench::sast

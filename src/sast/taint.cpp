@@ -1,0 +1,211 @@
+#include "sast/taint.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace vdbench::sast {
+
+namespace {
+
+using Env = std::unordered_map<std::string, TaintValue>;
+
+// Merge the taint facets of `from` into `into` (used when a value is built
+// from several operands: the result is tainted if any operand is, and only
+// the sanitizations shared by every tainted operand survive).
+void merge_tainted(TaintValue& into, const TaintValue& from,
+                   bool& saw_tainted) {
+  if (!from.tainted) return;
+  if (!saw_tainted) {
+    into.tainted = true;
+    into.sanitized_mask = from.sanitized_mask;
+    saw_tainted = true;
+  } else {
+    into.sanitized_mask &= from.sanitized_mask;
+  }
+  into.helper_depth =
+      std::max(into.helper_depth, from.helper_depth);
+  into.through_format |= from.through_format;
+  into.through_to_int |= from.through_to_int;
+  into.through_to_lower |= from.through_to_lower;
+}
+
+class Interpreter {
+ public:
+  Interpreter(const Program& program, const TaintConfig& config)
+      : program_(program), config_(config) {}
+
+  std::vector<SinkFlow> run(const Function& entry) {
+    entry_name_ = entry.name;
+    Env env;
+    // Entry-point parameters are not attacker-controlled by themselves
+    // (taint enters only through input()/input_num() calls).
+    for (const std::string& param : entry.params) env[param] = TaintValue{};
+    execute_body(entry.body, env, /*record_sinks=*/true,
+                 /*remaining_depth=*/config_.max_call_depth);
+    return std::move(flows_);
+  }
+
+ private:
+  // Executes statements; returns the value of the first `return`, or a
+  // default (untainted) value when the body falls off the end.
+  TaintValue execute_body(const std::vector<Stmt>& body, Env& env,
+                          bool record_sinks, std::size_t remaining_depth) {
+    for (const Stmt& stmt : body) {
+      switch (stmt.kind) {
+        case Stmt::Kind::kLet:
+        case Stmt::Kind::kAssign:
+          env[stmt.target] =
+              eval(stmt.value, env, record_sinks, remaining_depth, stmt.line);
+          break;
+        case Stmt::Kind::kReturn:
+          return eval(stmt.value, env, record_sinks, remaining_depth,
+                      stmt.line);
+        case Stmt::Kind::kExpr:
+          eval(stmt.value, env, record_sinks, remaining_depth, stmt.line);
+          break;
+      }
+    }
+    return TaintValue{};
+  }
+
+  TaintValue eval(const Expr& expr, Env& env, bool record_sinks,
+                  std::size_t remaining_depth, std::size_t line) {
+    switch (expr.kind) {
+      case Expr::Kind::kStringLit: {
+        TaintValue v;
+        v.literal = LiteralKind::kLiteral;
+        return v;
+      }
+      case Expr::Kind::kNumberLit:
+        return TaintValue{};
+      case Expr::Kind::kIdent: {
+        const auto it = env.find(expr.text);
+        return it == env.end() ? TaintValue{} : it->second;
+      }
+      case Expr::Kind::kCall:
+        return eval_call(expr, env, record_sinks, remaining_depth, line);
+    }
+    return TaintValue{};
+  }
+
+  TaintValue eval_call(const Expr& call, Env& env, bool record_sinks,
+                       std::size_t remaining_depth, std::size_t line) {
+    std::vector<TaintValue> args;
+    args.reserve(call.args.size());
+    for (const Expr& arg : call.args)
+      args.push_back(eval(arg, env, record_sinks, remaining_depth, line));
+
+    if (is_source(call.text)) {
+      TaintValue v;
+      v.tainted = true;
+      return v;
+    }
+    if (const std::optional<Channel> channel = sanitizer_channel(call.text)) {
+      TaintValue v = args.empty() ? TaintValue{} : args[0];
+      v.sanitized_mask |= channel_bit(*channel);
+      v.literal = LiteralKind::kNone;
+      return v;
+    }
+    if (is_sink(call.text)) {
+      if (record_sinks)
+        flows_.push_back({entry_name_, call.text, line, args});
+      return TaintValue{};
+    }
+    if (call.text == "concat") return combine(args, /*is_concat=*/true);
+    if (call.text == "format") {
+      TaintValue v = combine(args, /*is_concat=*/false);
+      if (v.tainted) v.through_format = true;
+      return v;
+    }
+    if (call.text == "to_int") {
+      // Deliberately taint-preserving: the engine does not know integer
+      // coercion neutralises string injection — its systematic FP source.
+      TaintValue v = args.empty() ? TaintValue{} : args[0];
+      if (v.tainted) v.through_to_int = true;
+      v.literal = LiteralKind::kNone;
+      return v;
+    }
+    if (call.text == "to_lower") {
+      TaintValue v = args.empty() ? TaintValue{} : args[0];
+      if (v.tainted) v.through_to_lower = true;
+      v.literal = LiteralKind::kNone;
+      return v;
+    }
+    if (call.text == "trim") {
+      TaintValue v = args.empty() ? TaintValue{} : args[0];
+      v.literal = LiteralKind::kNone;
+      return v;
+    }
+    if (const Function* callee = program_.find(call.text)) {
+      // Summary-only interprocedural step: propagate return-value taint,
+      // never record sinks inside the callee; give up (drop taint) when the
+      // inlining budget is exhausted.
+      if (remaining_depth == 0) return TaintValue{};
+      Env callee_env;
+      for (std::size_t p = 0; p < callee->params.size(); ++p)
+        callee_env[callee->params[p]] =
+            p < args.size() ? args[p] : TaintValue{};
+      TaintValue result = execute_body(callee->body, callee_env,
+                                       /*record_sinks=*/false,
+                                       remaining_depth - 1);
+      if (result.tainted && result.helper_depth < 255)
+        ++result.helper_depth;
+      return result;
+    }
+    // Unknown builtin (log_msg, mul, new_obj, ...): conservatively
+    // taint-preserving over its arguments.
+    TaintValue v = combine(args, /*is_concat=*/false);
+    v.literal = LiteralKind::kNone;
+    return v;
+  }
+
+  static TaintValue combine(const std::vector<TaintValue>& args,
+                            bool is_concat) {
+    TaintValue v;
+    bool saw_tainted = false;
+    for (const TaintValue& arg : args) merge_tainted(v, arg, saw_tainted);
+    if (is_concat && !v.tainted && !args.empty()) {
+      const bool all_literal = std::all_of(
+          args.begin(), args.end(), [](const TaintValue& a) {
+            return a.literal != LiteralKind::kNone;
+          });
+      if (all_literal) v.literal = LiteralKind::kLiteralConcat;
+    }
+    return v;
+  }
+
+  const Program& program_;
+  const TaintConfig& config_;
+  std::string entry_name_;
+  std::vector<SinkFlow> flows_;
+};
+
+}  // namespace
+
+bool is_source(std::string_view callee) {
+  return callee == "input" || callee == "input_num";
+}
+
+bool is_sink(std::string_view callee) {
+  return callee == "exec_sql" || callee == "render_html" ||
+         callee == "run_cmd" || callee == "open_file" ||
+         callee == "memcpy_buf" || callee == "auth_check" ||
+         callee == "alloc_buf" || callee == "use_obj";
+}
+
+std::optional<Channel> sanitizer_channel(std::string_view callee) {
+  if (callee == "sanitize_sql") return Channel::kSql;
+  if (callee == "escape_html") return Channel::kHtml;
+  if (callee == "shell_escape") return Channel::kCmd;
+  if (callee == "normalize_path") return Channel::kPath;
+  if (callee == "bound_check") return Channel::kBuf;
+  return std::nullopt;
+}
+
+std::vector<SinkFlow> analyze_function(const Program& program,
+                                       const Function& fn,
+                                       const TaintConfig& config) {
+  return Interpreter(program, config).run(fn);
+}
+
+}  // namespace vdbench::sast

@@ -1,0 +1,100 @@
+// Per-function dataflow/taint analysis over the mini-language.
+//
+// The engine interprets a function body abstractly: every variable holds a
+// TaintValue describing whether attacker-controlled input can reach it,
+// which sanitizers neutralised it for which sink channels, how many
+// user-function hops the taint crossed, and which transforms it passed
+// through. Every call to a known sink produces a SinkFlow record; the rule
+// registry (rules.h) turns flows into findings.
+//
+// Two properties are load-bearing for the benchmark study:
+//  * The analysis is fully deterministic — no randomness, no iteration over
+//    unordered state reaches the output.
+//  * Its imprecisions are DOCUMENTED and DELIBERATE, so the tool's misses
+//    are reproducible artifacts of the rules (the regime real benchmarked
+//    tools live in), not noise:
+//      - interprocedural analysis is summary-only: a user-function call
+//        propagates return-value taint but sinks *inside* callees are never
+//        recorded;
+//      - helper inlining stops at TaintConfig::max_call_depth nested calls;
+//        deeper taint is silently dropped (unsound, like a depth-bounded
+//        real analyzer);
+//      - to_int() is treated as taint-preserving even though it actually
+//        neutralises string injection — the engine's systematic
+//        false-positive source.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sast/ast.h"
+
+namespace vdbench::sast {
+
+/// Sink channels a sanitizer can neutralise.
+enum class Channel : std::uint8_t { kSql = 0, kHtml, kCmd, kPath, kBuf };
+
+inline constexpr std::size_t kChannelCount = 5;
+
+[[nodiscard]] constexpr std::uint8_t channel_bit(Channel c) noexcept {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(c));
+}
+
+/// Literal pedigree of a value — input to the syntactic credential rule.
+enum class LiteralKind : std::uint8_t {
+  kNone,          ///< not a compile-time constant (or unknown)
+  kLiteral,       ///< a single string literal, possibly via one let-chain
+  kLiteralConcat  ///< built by concatenating literals (evades CRED-001)
+};
+
+/// Abstract value the engine tracks per variable / expression.
+struct TaintValue {
+  bool tainted = false;
+  std::uint8_t sanitized_mask = 0;  ///< channel_bit()s neutralised
+  std::uint8_t helper_depth = 0;    ///< user-function hops taint crossed
+  bool through_format = false;      ///< passed through format()
+  bool through_to_int = false;      ///< passed through to_int()
+  bool through_to_lower = false;    ///< passed through to_lower()
+  LiteralKind literal = LiteralKind::kNone;
+
+  /// True when taint reaches a sink of `channel` unneutralised.
+  [[nodiscard]] bool unsanitized_for(Channel channel) const noexcept {
+    return tainted && (sanitized_mask & channel_bit(channel)) == 0;
+  }
+};
+
+/// One observed call to a sink, with the abstract state of every argument.
+struct SinkFlow {
+  std::string function_name;  ///< enclosing entry function
+  std::string sink;           ///< callee name, e.g. "exec_sql"
+  std::size_t line = 0;
+  std::vector<TaintValue> args;
+};
+
+struct TaintConfig {
+  /// Nested user-function calls the engine inlines before giving up and
+  /// dropping taint. Depth 2 means a helper calling a helper still
+  /// propagates; a third nested hop loses the taint.
+  std::size_t max_call_depth = 2;
+};
+
+/// Taint sources: input(), input_num().
+[[nodiscard]] bool is_source(std::string_view callee);
+/// Sinks the engine records flows for.
+[[nodiscard]] bool is_sink(std::string_view callee);
+/// Sanitizer channel of a callee (sanitize_sql, escape_html, shell_escape,
+/// normalize_path, bound_check), or nullopt.
+[[nodiscard]] std::optional<Channel> sanitizer_channel(
+    std::string_view callee);
+
+/// Analyze one entry function of `program`: interpret its body, inlining
+/// user-function calls up to config.max_call_depth, and return the sink
+/// flows observed in the ENTRY body (statement order — deterministic).
+[[nodiscard]] std::vector<SinkFlow> analyze_function(const Program& program,
+                                                     const Function& fn,
+                                                     const TaintConfig& config);
+
+}  // namespace vdbench::sast

@@ -66,16 +66,22 @@ std::string_view archetype_name(ToolArchetype a) {
 
 void ToolProfile::validate() const {
   if (name.empty()) throw std::invalid_argument("ToolProfile: name required");
+  // Negated-range comparisons so NaN (which fails every ordering) is
+  // rejected rather than slipping past a `< lo || > hi` pair.
   for (const double s : sensitivity)
-    if (s < 0.0 || s > 1.0)
+    if (!(s >= 0.0 && s <= 1.0))
       throw std::invalid_argument("ToolProfile: sensitivity in [0,1]");
-  if (fallout < 0.0 || fallout > 1.0)
+  if (!(fallout >= 0.0 && fallout <= 1.0))
     throw std::invalid_argument("ToolProfile: fallout in [0,1]");
-  if (confidence_sd < 0.0)
+  if (!(confidence_tp_mean >= 0.0 && confidence_tp_mean <= 1.0))
+    throw std::invalid_argument("ToolProfile: confidence_tp_mean in [0,1]");
+  if (!(confidence_fp_mean >= 0.0 && confidence_fp_mean <= 1.0))
+    throw std::invalid_argument("ToolProfile: confidence_fp_mean in [0,1]");
+  if (!(confidence_sd >= 0.0))
     throw std::invalid_argument("ToolProfile: confidence_sd >= 0");
-  if (speed_kloc_per_second <= 0.0)
+  if (!(speed_kloc_per_second > 0.0))
     throw std::invalid_argument("ToolProfile: speed must be > 0");
-  if (startup_seconds < 0.0)
+  if (!(startup_seconds >= 0.0))
     throw std::invalid_argument("ToolProfile: startup_seconds >= 0");
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "cache/hash.h"
+#include "cli/experiment.h"
 
 namespace vdbench::cache {
 namespace {
@@ -59,6 +60,24 @@ TEST(CacheKeyTest, EveryFieldChangesTheDigest) {
   k = base;
   k.schema_version = 2;
   EXPECT_NE(k.digest(), base.digest());
+}
+
+TEST_F(ResultCacheTest, EngineSchemaBumpInvalidatesOldEntries) {
+  // E17 landed with a schema bump; entries addressed under the previous
+  // engine schema must be cache misses for the current engine.
+  static_assert(cli::kEngineSchemaVersion >= 2,
+                "schema must have been bumped when E17 landed");
+  ResultCache cache = make_cache();
+  CacheKey stale{"e17", "realtool{services=120}", 42,
+                 cli::kEngineSchemaVersion - 1};
+  ASSERT_TRUE(cache.store(stale, "old-schema payload", 1));
+
+  CacheKey current = stale;
+  current.schema_version = cli::kEngineSchemaVersion;
+  EXPECT_FALSE(cache.fetch(current, 2).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // The stale entry itself is still addressable under its own version.
+  EXPECT_TRUE(cache.fetch(stale, 3).has_value());
 }
 
 TEST(CacheKeyTest, LengthPrefixPreventsConcatenationCollisions) {

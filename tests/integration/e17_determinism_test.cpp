@@ -1,0 +1,147 @@
+// E17 acceptance gates (see ISSUE/EXPERIMENTS): the real-analyzer
+// experiment must be bit-identical across worker counts and cache
+// temperature, MiniSAST must clear the 90% SQL-injection recall floor on
+// the study corpus, and its misses/false alarms must be EXACTLY the
+// documented blind spots — no more, no less.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "cli/driver.h"
+#include "experiments.h"
+#include "sast/adapter.h"
+#include "study_common.h"
+#include "vdsim/emit.h"
+#include "vdsim/runner.h"
+
+namespace vdbench {
+namespace {
+
+namespace fs = std::filesystem;
+
+class E17DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vde17_test_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  cli::DriverOptions options_for(const std::string& tag,
+                                 std::size_t threads) {
+    cli::DriverOptions options;
+    options.experiments = "e17";
+    options.quiet = true;
+    options.cache_dir = (dir_ / ("cache_" + tag)).string();
+    options.manifest_path = (dir_ / ("manifest_" + tag + ".json")).string();
+    options.artifact_dir = dir_.string();
+    options.json_out = (dir_ / (tag + ".json")).string();
+    options.threads = threads;
+    options.clock = [this] { return ++tick_; };
+    return options;
+  }
+
+  static std::string slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), {}};
+  }
+
+  fs::path dir_;
+  std::uint64_t tick_ = 0;
+};
+
+TEST_F(E17DeterminismTest, ByteIdenticalAcrossThreadsAndCacheTemperature) {
+  const cli::ExperimentRegistry registry = bench::study_registry();
+
+  cli::DriverOptions one = options_for("one", 1);
+  const cli::RunOutcome cold = cli::run_driver(registry, one, std::cout);
+  ASSERT_EQ(cold.exit_code, 0);
+  ASSERT_EQ(cold.misses, 1u);
+
+  // Warm replay from the cache: identical export bytes.
+  one.json_out = (dir_ / "one_warm.json").string();
+  const cli::RunOutcome warm = cli::run_driver(registry, one, std::cout);
+  ASSERT_EQ(warm.exit_code, 0);
+  EXPECT_EQ(warm.hits, 1u);
+  EXPECT_EQ(slurp(dir_ / "one.json"), slurp(dir_ / "one_warm.json"));
+
+  // Fresh 8-thread run in its own cache: identical key, entry and export.
+  const cli::DriverOptions eight = options_for("eight", 8);
+  const cli::RunOutcome wide = cli::run_driver(registry, eight, std::cout);
+  ASSERT_EQ(wide.exit_code, 0);
+  ASSERT_EQ(cold.experiments.size(), 1u);
+  ASSERT_EQ(wide.experiments.size(), 1u);
+  EXPECT_EQ(cold.experiments[0].key_hex, wide.experiments[0].key_hex);
+  EXPECT_EQ(slurp(dir_ / "cache_one" / (cold.experiments[0].key_hex + ".vdc")),
+            slurp(dir_ / "cache_eight" /
+                  (wide.experiments[0].key_hex + ".vdc")));
+  EXPECT_EQ(slurp(dir_ / "one.json"), slurp(dir_ / "eight.json"));
+}
+
+TEST(E17AcceptanceTest, SqliRecallClearsFloorAndBlindSpotsAreExact) {
+  stats::Rng rng(bench::kStudySeed);
+  const vdsim::Workload workload =
+      vdsim::generate_workload(bench::e17_corpus_spec(), rng);
+  const sast::Analyzer analyzer(sast::AnalyzerConfig{},
+                                sast::RuleRegistry::default_rules());
+  const vdsim::ToolReport report = sast::run_sast(workload, analyzer);
+  const vdsim::BenchmarkResult result =
+      vdsim::evaluate_report(report, workload, {10.0, 1.0});
+
+  // Instance-exact: the detection set equals expected_detected() over the
+  // ground truth — the blind spots are contracts, not tendencies.
+  std::set<std::tuple<std::size_t, std::size_t, vdsim::VulnClass>> detected;
+  for (const vdsim::Finding& f : report.findings)
+    detected.insert({f.service_index, f.site_index, f.claimed_class});
+  std::uint64_t expected_tp = 0;
+  for (const vdsim::Service& service : workload.services()) {
+    for (const vdsim::VulnInstance& v : service.vulns) {
+      const bool expected = sast::expected_detected(v, analyzer.config());
+      const bool actual =
+          detected.count({v.service_index, v.site_index, v.vuln_class}) > 0;
+      EXPECT_EQ(expected, actual)
+          << "instance " << v.id << " class "
+          << vdsim::vuln_class_name(v.vuln_class) << " difficulty "
+          << v.difficulty;
+      expected_tp += expected ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(result.context.cm.tp, expected_tp);
+
+  // >=90% of seeded SQL injections are found (acceptance floor).
+  const vdsim::ClassOutcome& sqli =
+      result.by_class[vdsim::vuln_class_index(
+          vdsim::VulnClass::kSqlInjection)];
+  EXPECT_GE(sqli.tp + sqli.fn, 50u);  // corpus actually seeds the class
+  EXPECT_GE(sqli.recall(), 0.90);
+
+  // Every false alarm is the documented to_int bait — count them.
+  std::uint64_t bait = 0;
+  for (std::size_t s = 0; s < workload.services().size(); ++s) {
+    const vdsim::Service& service = workload.services()[s];
+    for (std::size_t site = 0; site < service.candidate_sites; ++site)
+      if (workload.vuln_at(s, site) == nullptr &&
+          vdsim::clean_variant(s, site) == vdsim::CleanVariant::kTypedTaint)
+        ++bait;
+  }
+  EXPECT_EQ(result.context.cm.fp, bait);
+
+  // Classes without rules have exactly zero recall.
+  for (const vdsim::VulnClass c :
+       {vdsim::VulnClass::kCommandInjection,
+        vdsim::VulnClass::kIntegerOverflow,
+        vdsim::VulnClass::kUseAfterFree}) {
+    EXPECT_EQ(result.by_class[vdsim::vuln_class_index(c)].tp, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace vdbench

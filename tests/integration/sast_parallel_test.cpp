@@ -1,0 +1,55 @@
+// ThreadSanitizer coverage for the analyzer's per-service fan-out: run_sast
+// parallelises emission+analysis over stats::ParallelExecutor, and its
+// report must be identical for every worker count (task i writes slot i
+// only; the merge is serial).
+#include <gtest/gtest.h>
+
+#include "sast/adapter.h"
+#include "stats/parallel.h"
+#include "vdsim/workload.h"
+
+namespace vdbench {
+namespace {
+
+TEST(SastParallelTest, ReportIsIdenticalForAnyWorkerCount) {
+  vdsim::WorkloadSpec spec;
+  spec.num_services = 24;
+  spec.prevalence = 0.12;
+  stats::Rng rng(404);
+  const vdsim::Workload workload = vdsim::generate_workload(spec, rng);
+  const sast::Analyzer analyzer(sast::AnalyzerConfig{},
+                                sast::RuleRegistry::default_rules());
+
+  vdsim::ToolReport baseline;
+  sast::SastRunStats baseline_stats;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    stats::set_global_threads(threads);
+    sast::SastRunStats stats;
+    const vdsim::ToolReport report =
+        sast::run_sast(workload, analyzer, &stats);
+    if (threads == 1u) {
+      baseline = report;
+      baseline_stats = stats;
+      EXPECT_GT(report.findings.size(), 0u);
+      continue;
+    }
+    EXPECT_EQ(stats.functions, baseline_stats.functions);
+    EXPECT_EQ(stats.findings, baseline_stats.findings);
+    EXPECT_EQ(stats.sink_flows, baseline_stats.sink_flows);
+    ASSERT_EQ(report.findings.size(), baseline.findings.size());
+    for (std::size_t i = 0; i < report.findings.size(); ++i) {
+      EXPECT_EQ(report.findings[i].service_index,
+                baseline.findings[i].service_index);
+      EXPECT_EQ(report.findings[i].site_index,
+                baseline.findings[i].site_index);
+      EXPECT_EQ(report.findings[i].claimed_class,
+                baseline.findings[i].claimed_class);
+      EXPECT_DOUBLE_EQ(report.findings[i].confidence,
+                       baseline.findings[i].confidence);
+    }
+  }
+  stats::set_global_threads(0);  // restore the default executor
+}
+
+}  // namespace
+}  // namespace vdbench

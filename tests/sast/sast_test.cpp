@@ -1,0 +1,340 @@
+#include "sast/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "sast/lexer.h"
+#include "sast/parser.h"
+
+namespace vdbench::sast {
+namespace {
+
+// ---------------------------------------------------------------- lexer ---
+
+TEST(LexerTest, TokenizesKeywordsLiteralsAndPunctuation) {
+  const std::vector<Token> tokens =
+      lex("fn f(x) {\n  let q = concat(\"a b\", 42);\n  return q;\n}\n");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens.front().type, TokenType::kFn);
+  EXPECT_EQ(tokens.back().type, TokenType::kEndOfFile);
+
+  std::size_t strings = 0;
+  std::size_t numbers = 0;
+  for (const Token& t : tokens) {
+    if (t.type == TokenType::kString) {
+      ++strings;
+      EXPECT_EQ(t.text, "a b");  // contents unquoted
+      EXPECT_EQ(t.line, 2u);
+    }
+    if (t.type == TokenType::kNumber) {
+      ++numbers;
+      EXPECT_EQ(t.text, "42");
+    }
+  }
+  EXPECT_EQ(strings, 1u);
+  EXPECT_EQ(numbers, 1u);
+}
+
+TEST(LexerTest, SkipsCommentsToEndOfLine) {
+  const std::vector<Token> tokens = lex("# header fn let \"x\nfn f() {}\n");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kFn);
+  EXPECT_EQ(tokens[0].line, 2u);
+}
+
+TEST(LexerTest, RejectsMalformedInput) {
+  EXPECT_THROW(lex("let s = \"unterminated;"), LexError);
+  EXPECT_THROW(lex("fn f() { @ }"), LexError);
+}
+
+// --------------------------------------------------------------- parser ---
+
+TEST(ParserTest, RoundTripsCanonicalSourceExactly) {
+  const std::string canonical =
+      "fn helper(x, y) {\n"
+      "  let q = concat(x, \"suffix\");\n"
+      "  q = trim(q);\n"
+      "  return q;\n"
+      "}\n"
+      "fn site_0() {\n"
+      "  let id = input(\"id\");\n"
+      "  exec_sql(helper(id, 7));\n"
+      "}\n";
+  EXPECT_EQ(to_source(parse(canonical)), canonical);
+}
+
+TEST(ParserTest, RoundTripIsIdempotentOnNoisyLayout) {
+  const std::string noisy =
+      "# comment\nfn f ( a )\n{ let b=concat(a,\"z\") ;\nreturn b ; }";
+  const std::string once = to_source(parse(noisy));
+  EXPECT_EQ(to_source(parse(once)), once);
+}
+
+TEST(ParserTest, ReportsErrorsWithLineNumbers) {
+  EXPECT_THROW(parse("fn f( {"), ParseError);
+  EXPECT_THROW(parse("fn f() { let = 3; }"), ParseError);
+  EXPECT_THROW(parse("let x = 1;"), ParseError);  // statement outside fn
+}
+
+// ---------------------------------------------------------------- taint ---
+
+std::vector<SinkFlow> flows_of(std::string_view source,
+                               const TaintConfig& config = TaintConfig{}) {
+  const Program program = parse(source);
+  const Function* entry = program.find("site_0");
+  EXPECT_NE(entry, nullptr);
+  return analyze_function(program, *entry, config);
+}
+
+TEST(TaintTest, TaintSurvivesConcatWithLiterals) {
+  const auto flows = flows_of(
+      "fn site_0() {\n"
+      "  let id = input(\"id\");\n"
+      "  let sql = concat(\"SELECT \", id);\n"
+      "  exec_sql(sql);\n"
+      "}\n");
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].sink, "exec_sql");
+  EXPECT_EQ(flows[0].function_name, "site_0");
+  ASSERT_EQ(flows[0].args.size(), 1u);
+  EXPECT_TRUE(flows[0].args[0].unsanitized_for(Channel::kSql));
+}
+
+TEST(TaintTest, SanitizerKillsItsChannelOnly) {
+  const auto flows = flows_of(
+      "fn site_0() {\n"
+      "  let raw = input(\"q\");\n"
+      "  let safe = sanitize_sql(raw);\n"
+      "  exec_sql(concat(\"SELECT \", safe));\n"
+      "}\n");
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_FALSE(flows[0].args[0].unsanitized_for(Channel::kSql));
+  // Still live for every other channel — sanitizers are channel-specific.
+  EXPECT_TRUE(flows[0].args[0].unsanitized_for(Channel::kHtml));
+}
+
+TEST(TaintTest, HelperInliningStopsAtDepthBudget) {
+  const std::string two_deep =
+      "fn w0_2(x) {\n  let y = concat(x, \"\");\n  return y;\n}\n"
+      "fn w0_1(x) {\n  let y = w0_2(x);\n  return y;\n}\n"
+      "fn site_0() {\n"
+      "  let id = input(\"id\");\n"
+      "  let t = w0_1(id);\n"
+      "  exec_sql(t);\n"
+      "}\n";
+  const std::string three_deep =
+      "fn w0_3(x) {\n  let y = concat(x, \"\");\n  return y;\n}\n"
+      "fn w0_2(x) {\n  let y = w0_3(x);\n  return y;\n}\n"
+      "fn w0_1(x) {\n  let y = w0_2(x);\n  return y;\n}\n"
+      "fn site_0() {\n"
+      "  let id = input(\"id\");\n"
+      "  let t = w0_1(id);\n"
+      "  exec_sql(t);\n"
+      "}\n";
+  const auto shallow = flows_of(two_deep);
+  ASSERT_EQ(shallow.size(), 1u);
+  EXPECT_TRUE(shallow[0].args[0].tainted);
+  EXPECT_EQ(shallow[0].args[0].helper_depth, 2u);
+
+  // One hop past the budget: taint is dropped, deterministically.
+  const auto deep = flows_of(three_deep);
+  ASSERT_EQ(deep.size(), 1u);
+  EXPECT_FALSE(deep[0].args[0].tainted);
+
+  // A larger budget recovers the flow — the miss is the budget, not noise.
+  const auto wide = flows_of(three_deep, TaintConfig{/*max_call_depth=*/3});
+  ASSERT_EQ(wide.size(), 1u);
+  EXPECT_TRUE(wide[0].args[0].tainted);
+  EXPECT_EQ(wide[0].args[0].helper_depth, 3u);
+}
+
+TEST(TaintTest, SinksInsideHelpersAreNotRecorded) {
+  const auto flows = flows_of(
+      "fn copy0(x) {\n  memcpy_buf(\"buf64\", x);\n  return x;\n}\n"
+      "fn site_0() {\n"
+      "  let data = input(\"data\");\n"
+      "  let r = copy0(data);\n"
+      "  log_msg(r);\n"
+      "}\n");
+  EXPECT_TRUE(flows.empty());  // summary-only interprocedural analysis
+}
+
+TEST(TaintTest, TransformFlagsAndLiteralPedigreeAreTracked) {
+  const auto flows = flows_of(
+      "fn site_0() {\n"
+      "  let n = to_int(input(\"page\"));\n"
+      "  let secret = concat(\"hun\", \"ter2\");\n"
+      "  auth_check(secret, \"hunter2\");\n"
+      "  exec_sql(concat(\"LIMIT \", n));\n"
+      "}\n");
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].sink, "auth_check");
+  EXPECT_EQ(flows[0].args[0].literal, LiteralKind::kLiteralConcat);
+  EXPECT_EQ(flows[0].args[1].literal, LiteralKind::kLiteral);
+  EXPECT_EQ(flows[1].sink, "exec_sql");
+  EXPECT_TRUE(flows[1].args[0].through_to_int);
+}
+
+// ---------------------------------------------------------------- rules ---
+
+FileAnalysis analyze(std::string_view source,
+                     AnalyzerConfig config = AnalyzerConfig{}) {
+  return Analyzer(config, RuleRegistry::default_rules())
+      .analyze_source(source);
+}
+
+TEST(RulesTest, RegistryRejectsBadRules) {
+  RuleRegistry registry = RuleRegistry::default_rules();
+  EXPECT_THROW(
+      registry.add({"", vdsim::VulnClass::kXss, "render_html", "",
+                    [](const SinkFlow&) { return std::nullopt; }}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      registry.add({"SQLI-001", vdsim::VulnClass::kSqlInjection, "exec_sql",
+                    "", [](const SinkFlow&) { return std::nullopt; }}),
+      std::invalid_argument);
+  EXPECT_THROW(registry.add({"NEW-001", vdsim::VulnClass::kXss, "render_html",
+                             "", nullptr}),
+               std::invalid_argument);
+}
+
+TEST(RulesTest, XssRuleIsBlindToFormatBuiltMarkup) {
+  const std::string plain =
+      "fn site_0() {\n"
+      "  let name = input(\"name\");\n"
+      "  let page = concat(\"<h1>\", name);\n"
+      "  render_html(page);\n"
+      "}\n";
+  const std::string formatted =
+      "fn site_0() {\n"
+      "  let name = input(\"name\");\n"
+      "  let page = format(\"<h1>{}</h1>\", name);\n"
+      "  render_html(page);\n"
+      "}\n";
+  const FileAnalysis caught = analyze(plain);
+  ASSERT_EQ(caught.findings.size(), 1u);
+  EXPECT_EQ(caught.findings[0].rule_id, "XSS-001");
+  EXPECT_DOUBLE_EQ(caught.findings[0].confidence, 0.88);
+
+  const FileAnalysis missed = analyze(formatted);
+  EXPECT_TRUE(missed.findings.empty());
+  EXPECT_EQ(missed.sink_flows, 1u);  // the flow exists; the rule declines
+}
+
+TEST(RulesTest, PathRuleTrustsToLower) {
+  const std::string washed =
+      "fn site_0() {\n"
+      "  let f = input(\"file\");\n"
+      "  let lower = to_lower(f);\n"
+      "  open_file(concat(\"/srv/\", lower));\n"
+      "}\n";
+  EXPECT_TRUE(analyze(washed).findings.empty());
+
+  const std::string direct =
+      "fn site_0() {\n"
+      "  let f = input(\"file\");\n"
+      "  open_file(concat(\"/srv/\", f));\n"
+      "}\n";
+  const FileAnalysis caught = analyze(direct);
+  ASSERT_EQ(caught.findings.size(), 1u);
+  EXPECT_EQ(caught.findings[0].rule_id, "PATH-001");
+}
+
+TEST(RulesTest, CredRuleIsPurelySyntactic) {
+  const FileAnalysis literal = analyze(
+      "fn site_0() {\n  auth_check(\"admin\", \"hunter2\");\n}\n");
+  ASSERT_EQ(literal.findings.size(), 1u);
+  EXPECT_EQ(literal.findings[0].rule_id, "CRED-001");
+
+  const FileAnalysis concatenated = analyze(
+      "fn site_0() {\n"
+      "  let secret = concat(\"hun\", \"ter2\");\n"
+      "  auth_check(\"admin\", secret);\n"
+      "}\n");
+  EXPECT_TRUE(concatenated.findings.empty());
+}
+
+TEST(RulesTest, NoRuleCoversCommandInjection) {
+  const FileAnalysis analysis = analyze(
+      "fn site_0() {\n"
+      "  let host = input(\"host\");\n"
+      "  run_cmd(concat(\"ping \", host));\n"
+      "}\n");
+  EXPECT_EQ(analysis.sink_flows, 1u);
+  EXPECT_TRUE(analysis.findings.empty());  // registry-level blind spot
+}
+
+TEST(RulesTest, ConfidenceErodesWithHelperDepthAndToInt) {
+  const FileAnalysis via_helpers = analyze(
+      "fn w0_2(x) {\n  let y = concat(x, \"\");\n  return y;\n}\n"
+      "fn w0_1(x) {\n  let y = w0_2(x);\n  return y;\n}\n"
+      "fn site_0() {\n"
+      "  let id = input(\"id\");\n"
+      "  exec_sql(w0_1(id));\n"
+      "}\n");
+  ASSERT_EQ(via_helpers.findings.size(), 1u);
+  EXPECT_DOUBLE_EQ(via_helpers.findings[0].confidence, 0.92 - 2 * 0.04);
+
+  const FileAnalysis typed = analyze(
+      "fn site_0() {\n"
+      "  let n = to_int(input(\"page\"));\n"
+      "  exec_sql(concat(\"LIMIT \", n));\n"
+      "}\n");
+  ASSERT_EQ(typed.findings.size(), 1u);
+  EXPECT_DOUBLE_EQ(typed.findings[0].confidence, 0.92 - 0.25);
+}
+
+// ------------------------------------------------------------- analyzer ---
+
+TEST(AnalyzerTest, ConfidenceFloorSuppressesFindings) {
+  const std::string typed =
+      "fn site_0() {\n"
+      "  let n = to_int(input(\"page\"));\n"
+      "  exec_sql(concat(\"LIMIT \", n));\n"
+      "}\n";
+  AnalyzerConfig strict;
+  strict.min_confidence = 0.70;  // above the 0.67 to_int confidence
+  const FileAnalysis analysis = analyze(typed, strict);
+  EXPECT_TRUE(analysis.findings.empty());
+  EXPECT_EQ(analysis.suppressed, 1u);
+}
+
+TEST(AnalyzerTest, ConfigValidationRejectsNanAndOutOfRange) {
+  AnalyzerConfig config;
+  config.min_confidence = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.min_confidence = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.min_confidence = 0.30;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(AnalyzerTest, OutputIsDeterministicAcrossRuns) {
+  const std::string source =
+      "fn site_0() {\n"
+      "  let id = input(\"id\");\n"
+      "  exec_sql(concat(\"SELECT \", id));\n"
+      "}\n"
+      "fn site_1() {\n"
+      "  let f = input(\"file\");\n"
+      "  open_file(f);\n"
+      "}\n";
+  const FileAnalysis a = analyze(source);
+  const FileAnalysis b = analyze(source);
+  ASSERT_EQ(a.findings.size(), 2u);
+  ASSERT_EQ(b.findings.size(), 2u);
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].rule_id, b.findings[i].rule_id);
+    EXPECT_EQ(a.findings[i].function_name, b.findings[i].function_name);
+    EXPECT_EQ(a.findings[i].line, b.findings[i].line);
+    EXPECT_DOUBLE_EQ(a.findings[i].confidence, b.findings[i].confidence);
+  }
+  EXPECT_EQ(a.findings[0].rule_id, "SQLI-001");  // program order
+  EXPECT_EQ(a.findings[1].rule_id, "PATH-001");
+}
+
+}  // namespace
+}  // namespace vdbench::sast

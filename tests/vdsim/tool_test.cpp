@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 namespace vdbench::vdsim {
@@ -28,6 +29,45 @@ TEST(ToolProfileTest, ValidationCatchesBadFields) {
   EXPECT_THROW(t.validate(), std::invalid_argument);
   t = make_archetype_profile(ToolArchetype::kFuzzer, 0.5, "f");
   t.name.clear();
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(ToolProfileTest, ValidationRejectsNanInEveryNumericField) {
+  // NaN fails every ordering, so `< lo || > hi` style checks silently let
+  // it through; validate() must use negated-range comparisons instead.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto fresh = [] {
+    return make_archetype_profile(ToolArchetype::kFuzzer, 0.5, "f");
+  };
+  ToolProfile t = fresh();
+  t.sensitivity[3] = nan;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = fresh();
+  t.fallout = nan;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = fresh();
+  t.confidence_tp_mean = nan;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = fresh();
+  t.confidence_fp_mean = nan;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = fresh();
+  t.confidence_sd = nan;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = fresh();
+  t.speed_kloc_per_second = nan;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = fresh();
+  t.startup_seconds = nan;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(ToolProfileTest, ValidationBoundsConfidenceMeans) {
+  ToolProfile t = make_archetype_profile(ToolArchetype::kFuzzer, 0.5, "f");
+  t.confidence_tp_mean = 1.2;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = make_archetype_profile(ToolArchetype::kFuzzer, 0.5, "f");
+  t.confidence_fp_mean = -0.1;
   EXPECT_THROW(t.validate(), std::invalid_argument);
 }
 

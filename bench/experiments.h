@@ -31,6 +31,12 @@ void register_e15(cli::ExperimentRegistry& registry);
 void register_e16(cli::ExperimentRegistry& registry);
 void register_e17(cli::ExperimentRegistry& registry);
 
+/// "probe": a deliberately cheap 256-task parallel checksum used by the CI
+/// fault matrix and resilience tests as a drill target for `executor.task`
+/// faults and watchdog cancellation. Non-cacheable, so it never joins the
+/// "all" selection and leaves the study outputs untouched.
+void register_probe(cli::ExperimentRegistry& registry);
+
 /// The base corpus E17 benchmarks the real analyzer on; exported so tests
 /// can regenerate the identical workload and assert the blind-spot
 /// contract against it.

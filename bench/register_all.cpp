@@ -1,6 +1,33 @@
+#include <cstdint>
+#include <vector>
+
 #include "experiments.h"
+#include "stats/parallel.h"
 
 namespace vdbench::bench {
+
+void register_probe(cli::ExperimentRegistry& registry) {
+  registry.add(
+      {"probe", "256-task parallel checksum (fault-drill target)",
+       "probe{tasks=256}", /*cacheable=*/false,
+       [](cli::ExperimentContext& ctx) {
+         const auto scope = ctx.timer.scope("checksum");
+         constexpr std::size_t kTasks = 256;
+         std::vector<std::uint64_t> slots(kTasks, 0);
+         stats::parallel_for_indexed(kTasks, [&slots](std::size_t i) {
+           // splitmix64-style finalizer of the index: deterministic,
+           // thread-count independent, just enough work to claim the slot.
+           std::uint64_t x = static_cast<std::uint64_t>(i) +
+                             0x9E3779B97F4A7C15ULL;
+           x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+           x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+           slots[i] = x ^ (x >> 31);
+         });
+         std::uint64_t checksum = 0;
+         for (const std::uint64_t slot : slots) checksum ^= slot;
+         ctx.out << "probe: 256 tasks, checksum=" << checksum << "\n";
+       }});
+}
 
 cli::ExperimentRegistry study_registry() {
   cli::ExperimentRegistry registry;
@@ -21,6 +48,7 @@ cli::ExperimentRegistry study_registry() {
   register_e15(registry);
   register_e16(registry);
   register_e17(registry);
+  register_probe(registry);
   return registry;
 }
 

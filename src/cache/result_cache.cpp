@@ -9,6 +9,7 @@
 #include <system_error>
 
 #include "cache/hash.h"
+#include "fault/injector.h"
 #include "stats/env.h"
 
 namespace vdbench::cache {
@@ -29,33 +30,6 @@ std::optional<std::string> read_file(const std::filesystem::path& path) {
   buffer << in.rdbuf();
   if (in.bad()) return std::nullopt;
   return std::move(buffer).str();
-}
-
-// Atomic publish: write a sibling temp file, then rename over the target.
-// Readers either see the old complete file or the new complete file.
-bool write_file_atomic(const std::filesystem::path& path,
-                       std::string_view content) {
-  std::filesystem::path tmp = path;
-  tmp += ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(content.data(),
-              static_cast<std::streamsize>(content.size()));
-    if (!out.flush()) {
-      out.close();
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      return false;
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return false;
-  }
-  return true;
 }
 
 struct ParsedEntry {
@@ -98,6 +72,31 @@ std::string render_entry(std::uint64_t digest, std::string_view payload) {
 
 }  // namespace
 
+bool write_file_atomic(const std::filesystem::path& path,
+                       std::string_view content) {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out.flush()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
 std::uint64_t CacheKey::digest() const {
   // Length-prefix every variable-width field; fixed-width fields are
   // rendered in decimal between delimiters the fields cannot contain.
@@ -128,9 +127,30 @@ ResultCache::ResultCache(Config config) : config_(std::move(config)) {
 
 std::optional<std::string> ResultCache::fetch(const CacheKey& key,
                                               std::uint64_t now) {
+  // Fault hook `cache.read` (key = experiment id): io_error behaves like an
+  // unreadable file (plain miss, entry left intact); corrupt/truncate mangle
+  // the bytes in flight so the checksum/validation recovery path runs for
+  // real — detection, deletion, recompute.
+  fault::Injector& injector = fault::Injector::global();
+  const fault::Action injected =
+      injector.armed() ? injector.hit("cache.read", key.experiment_id)
+                       : fault::Action::kNone;
+  if (injected == fault::Action::kThrow)
+    throw fault::InjectedFault("injected cache.read fault for " +
+                               key.experiment_id);
+  if (injected == fault::Action::kIoError) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
   const std::uint64_t digest = key.digest();
   const std::filesystem::path path = entry_path(digest);
-  const std::optional<std::string> raw = read_file(path);
+  std::optional<std::string> raw = read_file(path);
+  if (raw) {
+    if (injected == fault::Action::kCorrupt)
+      fault::flip_one_bit(*raw, injector.total_fired());
+    else if (injected == fault::Action::kTruncate)
+      fault::truncate_tail(*raw);
+  }
   if (!raw) {
     // No file: drop any stale index row and report a plain miss.
     if (find_entry(digest) != nullptr) erase_entry(digest, false);
@@ -162,9 +182,25 @@ std::optional<std::string> ResultCache::fetch(const CacheKey& key,
 
 bool ResultCache::store(const CacheKey& key, std::string_view payload,
                         std::uint64_t now) {
+  // Fault hook `cache.write` (key = experiment id): io_error simulates
+  // ENOSPC (a failed store — the atomic discipline guarantees no partial
+  // file either way); corrupt/truncate persist a damaged entry so the next
+  // fetch exercises checksum detection and recompute.
+  fault::Injector& injector = fault::Injector::global();
+  const fault::Action injected =
+      injector.armed() ? injector.hit("cache.write", key.experiment_id)
+                       : fault::Action::kNone;
+  if (injected == fault::Action::kThrow)
+    throw fault::InjectedFault("injected cache.write fault for " +
+                               key.experiment_id);
+  if (injected == fault::Action::kIoError) return false;
   const std::uint64_t digest = key.digest();
-  if (!write_file_atomic(entry_path(digest), render_entry(digest, payload)))
-    return false;
+  std::string entry = render_entry(digest, payload);
+  if (injected == fault::Action::kCorrupt)
+    fault::flip_one_bit(entry, injector.total_fired());
+  else if (injected == fault::Action::kTruncate)
+    fault::truncate_tail(entry);
+  if (!write_file_atomic(entry_path(digest), entry)) return false;
   if (Entry* existing = find_entry(digest)) {
     total_bytes_ -= existing->bytes;
     existing->bytes = payload.size();
@@ -281,7 +317,9 @@ void ResultCache::save_index() const {
   for (const Entry& e : entries_)
     out << to_hex64(e.digest) << '\t' << e.bytes << '\t' << e.last_used
         << '\n';
-  write_file_atomic(index_path(), std::move(out).str());
+  // Index loss is recoverable (entries are adopted on next load), so a
+  // failed index write is deliberately not an error.
+  (void)write_file_atomic(index_path(), std::move(out).str());
 }
 
 }  // namespace vdbench::cache

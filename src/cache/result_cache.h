@@ -31,6 +31,14 @@
 
 namespace vdbench::cache {
 
+/// Atomic publish: write a sibling ".tmp" file, flush, then rename over the
+/// target — readers (and a crash at any instant) see either the old complete
+/// file or the new complete file, never a torn write. Every cache entry and
+/// index write uses this; the driver reuses it for run manifests and JSON
+/// exports so the whole harness shares one crash-safety discipline.
+[[nodiscard]] bool write_file_atomic(const std::filesystem::path& path,
+                                     std::string_view content);
+
 /// The identity of one cacheable experiment result. Hashing length-prefixes
 /// each field, so distinct tuples cannot collide by concatenation.
 struct CacheKey {

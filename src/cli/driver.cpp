@@ -1,12 +1,16 @@
 #include "cli/driver.h"
 
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
+#include "fault/injector.h"
 #include "report/json.h"
 #include "report/json_reader.h"
 #include "report/table.h"
@@ -22,7 +26,9 @@ constexpr std::string_view kUsage =
 
 Runs the reconstructed DSN'15 study experiments through the on-disk result
 cache: unchanged experiments are served from disk, the rest compute on the
-deterministic parallel engine and are persisted for next time.
+deterministic parallel engine and are persisted for next time. A resilience
+supervisor retries failures, cancels overrunning experiments, and records
+every attempt in a crash-safe run manifest.
 
 options:
   --experiments LIST   comma-separated ids (e.g. e2,e6,e13) or "all"
@@ -36,16 +42,40 @@ options:
                        256 MiB)
   --no-cache           bypass the cache entirely (no reads, no writes)
   --refresh            recompute selected experiments, overwriting entries
-  --json-out PATH      write the combined JSON export of all payloads
-  --manifest PATH      run manifest location (default:
-                       vdbench_manifest.json; empty string disables)
+  --retries N          extra compute attempts after a failure (default: 0);
+                       retried results are byte-identical to first-try runs
+  --retry-backoff-ms N base delay before retry k, doubling, capped at 5s
+                       (default: 100; 0 disables sleeping)
+  --timeout-sec X      per-experiment wall-clock watchdog; on expiry the
+                       experiment is cancelled cooperatively and classified
+                       as "timeout" (default: disabled)
+  --fail-fast          abort the study on the first experiment that fails
+                       after retries (exit 1) instead of degrading
+  --resume PATH        continue a previous run from its manifest:
+                       experiments recorded as succeeded replay from the
+                       cache, the rest run again; prior attempts' timings
+                       carry into the new manifest
+  --json-out PATH      write the combined JSON export; a degraded run still
+                       exports (successes + per-experiment error records)
+  --manifest PATH      run manifest location, rewritten atomically after
+                       every experiment (default: vdbench_manifest.json;
+                       empty string disables)
   --artifact-dir PATH  directory for experiment artifact files (default: .)
-  --min-hit-rate R     exit non-zero when the cacheable hit rate is < R
+  --min-hit-rate R     fail the run when the cacheable hit rate is < R
                        (CI warm-cache assertion; default: disabled)
   --quiet              suppress experiment report text
   --list               list registered experiments and exit
   --help               this text
+
+exit codes: 0 ok | 3 partial (some experiments failed, study usable) |
+1 unusable (all failed, --min-hit-rate violated, or --fail-fast abort) |
+2 usage error
+
+environment: VDBENCH_FAULTS arms the deterministic fault injector, e.g.
+"cache.write=io_error@3;experiment.body=throw@e13:1" (see README).
 )";
+
+constexpr std::uint64_t kBackoffCapMs = 5000;
 
 double seconds_between(std::chrono::steady_clock::time_point from,
                        std::chrono::steady_clock::time_point to) {
@@ -131,11 +161,25 @@ void write_artifacts(const std::vector<Artifact>& artifacts,
   }
 }
 
-void write_manifest(const std::string& path, const RunOutcome& run,
+std::string run_status(std::size_t completed, std::size_t failed) {
+  if (failed == 0) return "ok";
+  return failed == completed ? "unusable" : "partial";
+}
+
+// Serialize the manifest and publish it atomically. Called after every
+// experiment (complete = false) and once at the end (complete = true), so
+// a crash at any instant leaves the latest consistent snapshot on disk —
+// exactly what --resume needs. Returns false when the write failed (or the
+// `manifest.write` fault point fired).
+bool write_manifest(const std::string& path, const RunOutcome& run,
                     const DriverOptions& options,
                     const std::filesystem::path& cache_dir,
                     const cache::CacheStats& cache_stats,
-                    std::uint64_t generated_at, std::size_t threads) {
+                    std::uint64_t generated_at, std::size_t threads,
+                    std::size_t selected, bool complete) {
+  if (fault::Injector::global().hit("manifest.write") !=
+      fault::Action::kNone)
+    return false;
   report::JsonWriter json;
   json.begin_object();
   json.field("schema", static_cast<std::uint64_t>(kEngineSchemaVersion));
@@ -144,15 +188,35 @@ void write_manifest(const std::string& path, const RunOutcome& run,
   json.field("cache_dir", cache_dir.string());
   json.field("cache_enabled", options.use_cache);
   json.field("refresh", options.refresh);
+  json.field("complete", complete);
+  if (!options.resume_path.empty())
+    json.field("resumed_from", options.resume_path);
   json.key("experiments").begin_array();
   for (const ExperimentOutcome& outcome : run.experiments) {
     json.begin_object();
     json.field("id", outcome.id);
     json.field("key", outcome.key_hex);
     json.field("source", source_name(outcome.source));
+    json.field("status",
+               outcome.source == ExperimentOutcome::Source::kFailed
+                   ? "failed"
+                   : "ok");
+    if (outcome.resumed) json.field("resumed", true);
     json.field("seconds", outcome.seconds);
     json.field("timestamp", outcome.timestamp);
     if (!outcome.error.empty()) json.field("error", outcome.error);
+    if (!outcome.error_class.empty())
+      json.field("error_class", outcome.error_class);
+    json.key("attempts").begin_array();
+    for (const AttemptRecord& attempt : outcome.attempts) {
+      json.begin_object();
+      json.field("result", attempt.result);
+      if (!attempt.error.empty()) json.field("error", attempt.error);
+      json.field("seconds", attempt.seconds);
+      if (attempt.prior) json.field("prior", true);
+      json.end_object();
+    }
+    json.end_array();
     json.key("stages").begin_array();
     for (const stats::StageTimer::Stage& stage : outcome.stages) {
       json.begin_object();
@@ -166,7 +230,15 @@ void write_manifest(const std::string& path, const RunOutcome& run,
   }
   json.end_array();
   json.key("summary").begin_object();
-  json.field("requested", static_cast<std::uint64_t>(run.experiments.size()));
+  json.field("requested", static_cast<std::uint64_t>(selected));
+  json.field("completed",
+             static_cast<std::uint64_t>(run.experiments.size()));
+  json.field("failed", static_cast<std::uint64_t>(run.failed));
+  json.field("status", run_status(run.experiments.size(), run.failed));
+  if (complete) {
+    json.field("exit_code", static_cast<std::int64_t>(run.exit_code));
+    json.field("hit_rate_ok", run.hit_rate_ok);
+  }
   json.field("hits", static_cast<std::uint64_t>(run.hits));
   json.field("misses", static_cast<std::uint64_t>(run.misses));
   json.field("hit_rate", run.hit_rate);
@@ -179,11 +251,15 @@ void write_manifest(const std::string& path, const RunOutcome& run,
   json.end_object();
   json.end_object();
   json.end_object();
-  write_text_file(path, json.str() + "\n");
+  return cache::write_file_atomic(path, json.str() + "\n");
 }
 
-void write_json_export(const std::string& path,
+// The export stays byte-identical between a clean run and a recovered
+// (retried / resumed) run: payloads are pure functions of the study inputs
+// and the errors array is empty whenever every experiment succeeded.
+bool write_json_export(const std::string& path,
                        const std::vector<std::string>& payloads,
+                       const std::vector<const ExperimentOutcome*>& failures,
                        std::uint64_t study_seed) {
   report::JsonWriter json;
   json.begin_object();
@@ -192,8 +268,141 @@ void write_json_export(const std::string& path,
   json.key("experiments").begin_array();
   for (const std::string& payload : payloads) json.raw_value(payload);
   json.end_array();
+  json.key("errors").begin_array();
+  for (const ExperimentOutcome* outcome : failures) {
+    json.begin_object();
+    json.field("experiment", outcome->id);
+    json.field("error_class", outcome->error_class);
+    json.field("error", outcome->error);
+    json.end_object();
+  }
+  json.end_array();
   json.end_object();
-  write_text_file(path, json.str() + "\n");
+  return cache::write_file_atomic(path, json.str() + "\n");
+}
+
+// --- attempt execution ----------------------------------------------------
+
+struct AttemptOutcome {
+  bool ok = false;
+  std::string error;
+  std::string error_class;  // "exception" | "injected_fault" | "timeout" | …
+  std::string text;
+  std::vector<Artifact> artifacts;
+};
+
+// Cooperative stall for the injected `experiment.body=timeout` action:
+// blocks until the watchdog cancels, with a hard cap so an unsupervised
+// stall cannot wedge a run forever.
+void injected_hang() {
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+             .count() < 5.0) {
+    if (stats::cancellation_requested()) throw stats::Cancelled();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  throw fault::InjectedFault(
+      "injected experiment.body hang expired without cancellation");
+}
+
+// One compute attempt: fresh capture stream, fresh context — an attempt
+// shares no state with its predecessors, which is what makes a retried
+// result byte-identical to a first-try one.
+AttemptOutcome run_body(const Experiment& experiment,
+                        stats::StageTimer& timer) {
+  AttemptOutcome result;
+  std::ostringstream capture;
+  ExperimentContext context(capture, timer);
+  try {
+    switch (fault::Injector::global().hit("experiment.body", experiment.id)) {
+      case fault::Action::kThrow:
+      case fault::Action::kIoError:
+      case fault::Action::kCorrupt:
+      case fault::Action::kTruncate:
+        throw fault::InjectedFault("injected experiment.body fault for " +
+                                   experiment.id);
+      case fault::Action::kTimeout:
+        injected_hang();
+        break;
+      case fault::Action::kNone:
+        break;
+    }
+    experiment.run(context);
+    result.ok = true;
+    result.text = std::move(capture).str();
+    result.artifacts = std::move(context.artifacts);
+  } catch (const stats::Cancelled& e) {
+    result.error_class = "timeout";
+    result.error = e.what();
+  } catch (const fault::InjectedFault& e) {
+    result.error_class = "injected_fault";
+    result.error = e.what();
+  } catch (const std::exception& e) {
+    result.error_class = "exception";
+    result.error = e.what();
+  } catch (...) {
+    result.error_class = "unknown";
+    result.error = "non-standard exception";
+  }
+  return result;
+}
+
+// Run one attempt under the wall-clock watchdog (when configured): the body
+// runs on its own thread while this thread waits; on expiry the cooperative
+// cancellation token is raised and the executor's task loops drain out via
+// stats::Cancelled. The attempt is always joined — results of a cancelled
+// body are discarded, so partial state can never leak into a retry.
+AttemptOutcome execute_attempt(const Experiment& experiment,
+                               double timeout_sec,
+                               stats::StageTimer& timer) {
+  if (timeout_sec <= 0.0) return run_body(experiment, timer);
+
+  stats::CancellationToken token;
+  stats::ScopedCancellationToken install(&token);
+  std::mutex mutex;
+  std::condition_variable done;
+  bool finished = false;
+  AttemptOutcome result;
+  std::thread runner([&] {
+    AttemptOutcome attempt = run_body(experiment, timer);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      result = std::move(attempt);
+      finished = true;
+    }
+    done.notify_all();
+  });
+  bool timed_out = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    if (!done.wait_for(lock, std::chrono::duration<double>(timeout_sec),
+                       [&] { return finished; })) {
+      timed_out = true;
+      token.request_cancel();
+      done.wait(lock, [&] { return finished; });
+    }
+  }
+  runner.join();
+  if (timed_out) {
+    // Even if the body raced past the deadline to a result, the watchdog
+    // spoke first: classify as timeout and discard, deterministically.
+    result.ok = false;
+    result.error_class = "timeout";
+    result.error = "exceeded --timeout-sec " +
+                   report::format_value(timeout_sec, 3) + "s";
+    result.text.clear();
+    result.artifacts.clear();
+  }
+  return result;
+}
+
+std::uint64_t backoff_delay_ms(std::uint64_t base_ms, std::size_t retry) {
+  if (base_ms == 0) return 0;
+  std::uint64_t delay = base_ms;
+  for (std::size_t i = 1; i < retry && delay < kBackoffCapMs; ++i)
+    delay *= 2;
+  return delay < kBackoffCapMs ? delay : kBackoffCapMs;
 }
 
 }  // namespace
@@ -243,6 +452,64 @@ std::optional<DecodedPayload> decode_payload(std::string_view payload) {
   return decoded;
 }
 
+std::optional<std::vector<std::pair<std::string, PriorRecord>>>
+load_resume_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  const std::string raw{std::istreambuf_iterator<char>(in), {}};
+  const std::optional<report::JsonValue> doc = report::parse_json(raw);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const report::JsonValue* experiments = doc->member("experiments");
+  if (experiments == nullptr || experiments->as_array() == nullptr)
+    return std::nullopt;
+  std::vector<std::pair<std::string, PriorRecord>> records;
+  for (const report::JsonValue& item : *experiments->as_array()) {
+    const report::JsonValue* id = item.member("id");
+    if (id == nullptr || id->as_string() == nullptr) return std::nullopt;
+    PriorRecord record;
+    if (const report::JsonValue* status = item.member("status");
+        status != nullptr && status->as_string() != nullptr) {
+      record.ok = *status->as_string() == "ok";
+    } else {
+      // Pre-supervisor manifests carry no status; a recorded error is the
+      // only failure marker they have.
+      record.ok = item.member("error") == nullptr;
+    }
+    const report::JsonValue* attempts = item.member("attempts");
+    if (attempts != nullptr && attempts->as_array() != nullptr) {
+      for (const report::JsonValue& attempt : *attempts->as_array()) {
+        AttemptRecord prior;
+        prior.prior = true;
+        if (const report::JsonValue* result = attempt.member("result");
+            result != nullptr && result->as_string() != nullptr)
+          prior.result = *result->as_string();
+        if (const report::JsonValue* error = attempt.member("error");
+            error != nullptr && error->as_string() != nullptr)
+          prior.error = *error->as_string();
+        if (const report::JsonValue* seconds = attempt.member("seconds");
+            seconds != nullptr && seconds->as_number().has_value())
+          prior.seconds = *seconds->as_number();
+        record.attempts.push_back(std::move(prior));
+      }
+    } else {
+      // Synthesize one attempt from the flat record so old manifests still
+      // carry their timing into the resumed run.
+      AttemptRecord prior;
+      prior.prior = true;
+      prior.result = record.ok ? "ok" : "exception";
+      if (const report::JsonValue* error = item.member("error");
+          error != nullptr && error->as_string() != nullptr)
+        prior.error = *error->as_string();
+      if (const report::JsonValue* seconds = item.member("seconds");
+          seconds != nullptr && seconds->as_number().has_value())
+        prior.seconds = *seconds->as_number();
+      record.attempts.push_back(std::move(prior));
+    }
+    records.emplace_back(*id->as_string(), std::move(record));
+  }
+  return records;
+}
+
 std::optional<DriverOptions> parse_args(int argc, const char* const* argv,
                                         std::ostream& err,
                                         bool* help_shown) {
@@ -286,6 +553,8 @@ std::optional<DriverOptions> parse_args(int argc, const char* const* argv,
       options.quiet = true;
     } else if (arg == "--list") {
       options.list_only = true;
+    } else if (arg == "--fail-fast") {
+      options.fail_fast = true;
     } else if (flag_matches(arg, "--experiments")) {
       if (!take_value(i, "--experiments", value)) return std::nullopt;
       options.experiments = value;
@@ -298,6 +567,9 @@ std::optional<DriverOptions> parse_args(int argc, const char* const* argv,
     } else if (flag_matches(arg, "--manifest")) {
       if (!take_value(i, "--manifest", value)) return std::nullopt;
       options.manifest_path = value;
+    } else if (flag_matches(arg, "--resume")) {
+      if (!take_value(i, "--resume", value)) return std::nullopt;
+      options.resume_path = value;
     } else if (flag_matches(arg, "--artifact-dir")) {
       if (!take_value(i, "--artifact-dir", value)) return std::nullopt;
       options.artifact_dir = value;
@@ -309,6 +581,38 @@ std::optional<DriverOptions> parse_args(int argc, const char* const* argv,
         options.threads = static_cast<std::size_t>(parsed);
       } catch (const std::exception&) {
         err << "vdbench: --threads expects a positive integer, got '"
+            << value << "'\n";
+        return std::nullopt;
+      }
+    } else if (flag_matches(arg, "--retries")) {
+      if (!take_value(i, "--retries", value)) return std::nullopt;
+      try {
+        const long parsed = std::stol(value);
+        if (parsed < 0) throw std::invalid_argument("negative");
+        options.retries = static_cast<std::size_t>(parsed);
+      } catch (const std::exception&) {
+        err << "vdbench: --retries expects a non-negative integer, got '"
+            << value << "'\n";
+        return std::nullopt;
+      }
+    } else if (flag_matches(arg, "--retry-backoff-ms")) {
+      if (!take_value(i, "--retry-backoff-ms", value)) return std::nullopt;
+      try {
+        options.retry_backoff_ms = std::stoull(value);
+      } catch (const std::exception&) {
+        err << "vdbench: --retry-backoff-ms expects a non-negative integer, "
+               "got '"
+            << value << "'\n";
+        return std::nullopt;
+      }
+    } else if (flag_matches(arg, "--timeout-sec")) {
+      if (!take_value(i, "--timeout-sec", value)) return std::nullopt;
+      try {
+        options.timeout_sec = std::stod(value);
+        if (options.timeout_sec <= 0.0)
+          throw std::invalid_argument("non-positive");
+      } catch (const std::exception&) {
+        err << "vdbench: --timeout-sec expects a positive number, got '"
             << value << "'\n";
         return std::nullopt;
       }
@@ -362,14 +666,39 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
     out << "\nknown ids:";
     for (const Experiment& e : registry.all()) out << ' ' << e.id;
     out << "\n";
-    run.exit_code = 2;
+    run.exit_code = kExitUsage;
     return run;
   }
   if (selected.empty()) {
     out << "vdbench: no experiments selected\n";
-    run.exit_code = 2;
+    run.exit_code = kExitUsage;
     return run;
   }
+
+  std::vector<std::pair<std::string, PriorRecord>> prior_records;
+  if (!options.resume_path.empty()) {
+    std::optional<std::vector<std::pair<std::string, PriorRecord>>> loaded =
+        load_resume_manifest(options.resume_path);
+    if (!loaded) {
+      out << "vdbench: cannot resume from '" << options.resume_path
+          << "': missing or not a run manifest\n";
+      run.exit_code = kExitUsage;
+      return run;
+    }
+    prior_records = std::move(*loaded);
+    std::size_t prior_ok = 0;
+    for (const auto& [id, record] : prior_records)
+      if (record.ok) ++prior_ok;
+    out << "vdbench: resuming from " << options.resume_path << " ("
+        << prior_ok << " of " << prior_records.size()
+        << " prior experiment(s) recorded ok)\n";
+  }
+  const auto find_prior = [&prior_records](
+                              const std::string& id) -> const PriorRecord* {
+    for (const auto& [prior_id, record] : prior_records)
+      if (prior_id == id) return &record;
+    return nullptr;
+  };
 
   if (options.threads > 0) stats::set_global_threads(options.threads);
   const std::size_t threads = stats::global_executor().thread_count();
@@ -399,10 +728,13 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
       << threads << ", cache="
       << (result_cache ? cache_dir.string() : std::string("off"))
       << (options.refresh ? " (refresh)" : "") << "\n";
+  if (fault::Injector::global().armed())
+    out << "vdbench: fault injector ARMED\n";
 
   const auto run_start = std::chrono::steady_clock::now();
   std::vector<std::string> payloads;
   payloads.reserve(selected.size());
+  bool aborted_fail_fast = false;
 
   for (const Experiment* experiment : selected) {
     const cache::CacheKey key{experiment->id, experiment->config,
@@ -411,22 +743,35 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
     outcome.id = experiment->id;
     outcome.key_hex = key.hex();
     outcome.timestamp = clock();
+    const PriorRecord* prior = find_prior(experiment->id);
+    if (prior != nullptr) {
+      outcome.resumed = true;
+      outcome.attempts = prior->attempts;
+    }
     const auto exp_start = std::chrono::steady_clock::now();
 
     out << "\n=== " << experiment->id << " — " << experiment->title << "\n";
+    if (prior != nullptr && prior->ok)
+      out << "resume: recorded ok in prior run, replaying from cache\n";
 
-    // Cache lookup.
+    // Cache lookup. A read failure of any kind (including injected ones)
+    // degrades to recompute, never to a run failure.
     std::optional<DecodedPayload> replay;
     std::string payload;
     const bool lookup = result_cache.has_value() && experiment->cacheable &&
                         !options.refresh;
     if (lookup) {
-      if (std::optional<std::string> cached =
-              result_cache->fetch(key, outcome.timestamp)) {
-        replay = decode_payload(*cached);
-        if (replay) payload = std::move(*cached);
-        // A checksummed entry that fails structural decode means the
-        // payload schema moved without a version bump; recompute.
+      try {
+        if (std::optional<std::string> cached =
+                result_cache->fetch(key, outcome.timestamp)) {
+          replay = decode_payload(*cached);
+          if (replay) payload = std::move(*cached);
+          // A checksummed entry that fails structural decode means the
+          // payload schema moved without a version bump; recompute.
+        }
+      } catch (const std::exception& e) {
+        out << "warning: cache read failed (" << e.what()
+            << "), recomputing\n";
       }
     }
 
@@ -440,27 +785,56 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
       }
       ++run.hits;
     } else {
-      std::ostringstream capture;
-      ExperimentContext context(capture, timer);
-      try {
-        experiment->run(context);
-      } catch (const std::exception& e) {
-        outcome.source = ExperimentOutcome::Source::kFailed;
-        outcome.error = e.what();
-        out << "FAILED: " << e.what() << "\n";
-        run.exit_code = 1;
+      // Compute under the supervisor: up to 1 + retries attempts, each a
+      // fresh context (same seed ⇒ byte-identical result), each optionally
+      // watchdogged.
+      AttemptOutcome attempt;
+      for (std::size_t attempt_no = 0; attempt_no <= options.retries;
+           ++attempt_no) {
+        if (attempt_no > 0) {
+          const std::uint64_t delay =
+              backoff_delay_ms(options.retry_backoff_ms, attempt_no);
+          if (delay > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        }
+        stats::StageTimer attempt_timer;
+        const auto attempt_start = std::chrono::steady_clock::now();
+        attempt = execute_attempt(*experiment, options.timeout_sec,
+                                  attempt_timer);
+        const double attempt_seconds = seconds_between(
+            attempt_start, std::chrono::steady_clock::now());
+        outcome.attempts.push_back({attempt.ok ? "ok" : attempt.error_class,
+                                    attempt.error, attempt_seconds, false});
+        timer = std::move(attempt_timer);
+        if (attempt.ok) break;
+        out << "attempt " << (attempt_no + 1) << "/"
+            << (options.retries + 1) << " failed [" << attempt.error_class
+            << "]: " << attempt.error << "\n";
       }
-      if (outcome.source != ExperimentOutcome::Source::kFailed) {
-        const std::string text = std::move(capture).str();
-        payload = build_payload(*experiment, options.study_seed, text,
-                                context.artifacts);
-        if (!options.quiet) out << text;
-        write_artifacts(context.artifacts, options.artifact_dir, out);
+
+      if (!attempt.ok) {
+        outcome.source = ExperimentOutcome::Source::kFailed;
+        outcome.error = attempt.error;
+        outcome.error_class = attempt.error_class;
+        out << "FAILED after " << outcome.attempts.size()
+            << " attempt(s) [" << outcome.error_class
+            << "]: " << outcome.error << "\n";
+        ++run.failed;
+      } else {
+        payload = build_payload(*experiment, options.study_seed,
+                                attempt.text, attempt.artifacts);
+        if (!options.quiet) out << attempt.text;
+        write_artifacts(attempt.artifacts, options.artifact_dir, out);
         if (result_cache.has_value() && experiment->cacheable) {
           outcome.source = ExperimentOutcome::Source::kComputed;
           const auto scope = timer.scope("cache store");
-          if (!result_cache->store(key, payload, outcome.timestamp))
-            out << "warning: could not persist cache entry\n";
+          try {
+            if (!result_cache->store(key, payload, outcome.timestamp))
+              out << "warning: could not persist cache entry\n";
+          } catch (const std::exception& e) {
+            out << "warning: could not persist cache entry (" << e.what()
+                << ")\n";
+          }
           ++run.misses;
         } else {
           outcome.source = ExperimentOutcome::Source::kBypass;
@@ -471,6 +845,8 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
     outcome.seconds =
         seconds_between(exp_start, std::chrono::steady_clock::now());
     outcome.stages = timer.stages();
+    if (outcome.source == ExperimentOutcome::Source::kCacheHit)
+      outcome.attempts.push_back({"ok", "", outcome.seconds, false});
     if (outcome.source != ExperimentOutcome::Source::kFailed) {
       payloads.push_back(std::move(payload));
       if (outcome.source == ExperimentOutcome::Source::kCacheHit) {
@@ -481,7 +857,31 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
       }
     }
     append_timer_jsonl(outcome, threads);
+    const bool failed = outcome.source == ExperimentOutcome::Source::kFailed;
     run.experiments.push_back(std::move(outcome));
+
+    // Crash-safety: publish the manifest after every experiment so a killed
+    // run leaves a resumable record of everything that finished.
+    if (!options.manifest_path.empty()) {
+      run.total_seconds =
+          seconds_between(run_start, std::chrono::steady_clock::now());
+      const std::size_t lookups_so_far = run.hits + run.misses;
+      run.hit_rate = lookups_so_far == 0
+                         ? 0.0
+                         : static_cast<double>(run.hits) /
+                               static_cast<double>(lookups_so_far);
+      if (!write_manifest(
+              options.manifest_path, run, options, cache_dir,
+              result_cache ? result_cache->stats() : cache::CacheStats{},
+              clock(), threads, selected.size(), /*complete=*/false))
+        out << "warning: could not write run manifest\n";
+    }
+
+    if (failed && options.fail_fast) {
+      out << "vdbench: --fail-fast, aborting after first failure\n";
+      aborted_fail_fast = true;
+      break;
+    }
   }
 
   run.total_seconds =
@@ -498,26 +898,56 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
       << " miss(es)";
   if (lookups > 0)
     out << " (hit rate " << report::format_percent(run.hit_rate, 1) << ")";
+  if (run.failed > 0) out << ", " << run.failed << " FAILED";
   out << "\n";
 
-  const cache::CacheStats cache_stats =
-      result_cache ? result_cache->stats() : cache::CacheStats{};
-  if (!options.manifest_path.empty()) {
-    write_manifest(options.manifest_path, run, options, cache_dir,
-                   cache_stats, clock(), threads);
-    out << "wrote run manifest to " << options.manifest_path << "\n";
-  }
-  if (!options.json_out.empty() && run.exit_code == 0) {
-    write_json_export(options.json_out, payloads, options.study_seed);
-    out << "wrote JSON export to " << options.json_out << "\n";
-  }
-
-  if (options.min_hit_rate >= 0.0 && run.exit_code == 0 &&
-      run.hit_rate < options.min_hit_rate) {
+  // Exit-code taxonomy. The hit-rate assertion is evaluated on every run —
+  // a partial run with a cold cache reports both conditions.
+  if (options.min_hit_rate >= 0.0 && run.hit_rate < options.min_hit_rate) {
+    run.hit_rate_ok = false;
     out << "vdbench: cache hit rate "
         << report::format_percent(run.hit_rate, 1) << " below required "
         << report::format_percent(options.min_hit_rate, 1) << "\n";
-    run.exit_code = 1;
+  }
+  if (aborted_fail_fast) {
+    run.exit_code = kExitUnusable;
+  } else if (run.failed == 0) {
+    run.exit_code = run.hit_rate_ok ? kExitOk : kExitUnusable;
+  } else if (run.failed == run.experiments.size()) {
+    run.exit_code = kExitUnusable;
+  } else {
+    run.exit_code = kExitPartial;
+  }
+  run.status = run.exit_code == kExitOk
+                   ? "ok"
+                   : (run.exit_code == kExitPartial ? "partial" : "unusable");
+  if (run.failed > 0)
+    out << "vdbench: run " << run.status << " (" << run.failed << " of "
+        << run.experiments.size() << " experiment(s) failed)\n";
+
+  // A degraded run still exports: successes plus per-experiment error
+  // records, so partial studies remain inspectable.
+  if (!options.json_out.empty()) {
+    std::vector<const ExperimentOutcome*> failures;
+    for (const ExperimentOutcome& outcome : run.experiments)
+      if (outcome.source == ExperimentOutcome::Source::kFailed)
+        failures.push_back(&outcome);
+    if (write_json_export(options.json_out, payloads, failures,
+                          options.study_seed))
+      out << "wrote JSON export to " << options.json_out << "\n";
+    else
+      out << "warning: could not write JSON export to " << options.json_out
+          << "\n";
+  }
+
+  if (!options.manifest_path.empty()) {
+    if (write_manifest(
+            options.manifest_path, run, options, cache_dir,
+            result_cache ? result_cache->stats() : cache::CacheStats{},
+            clock(), threads, selected.size(), /*complete=*/true))
+      out << "wrote run manifest to " << options.manifest_path << "\n";
+    else
+      out << "warning: could not write run manifest\n";
   }
   return run;
 }
@@ -525,10 +955,17 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
 int vdbench_main(int argc, const char* const* argv,
                  const ExperimentRegistry& registry,
                  std::uint64_t study_seed) {
+  try {
+    if (fault::Injector::global().arm_from_env())
+      std::cerr << "vdbench: fault injector armed from VDBENCH_FAULTS\n";
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "vdbench: " << e.what() << "\n";
+    return kExitUsage;
+  }
   bool help_shown = false;
   std::optional<DriverOptions> options =
       parse_args(argc, argv, std::cerr, &help_shown);
-  if (!options) return help_shown ? 0 : 2;
+  if (!options) return help_shown ? kExitOk : kExitUsage;
   options->study_seed = study_seed;
   return run_driver(registry, *options, std::cout).exit_code;
 }

@@ -3,9 +3,24 @@
 // One entry point runs any subset of the reconstructed study's experiments
 // through the content-addressed result cache: misses compute on the
 // deterministic parallel engine and are persisted; hits replay the stored
-// payload (report text + artifacts) from disk. Every run emits a manifest
-// JSON summarizing per-experiment cache outcome, stage timings and the
-// overall hit rate — the artifact CI uploads and asserts on.
+// payload (report text + artifacts) from disk. A resilience supervisor
+// wraps every computation: failed experiments retry with capped exponential
+// backoff (a retried attempt is byte-identical to a first-try run — every
+// attempt re-derives its RNG state from the study seed), a wall-clock
+// watchdog cancels overrunning experiments through the executor's
+// cooperative cancellation token, and failures degrade gracefully — the
+// study continues, the failure is recorded, and the exit code reports the
+// run's usability. The run manifest is rewritten atomically after every
+// experiment, so a crash at any instant leaves a parseable record that
+// --resume can continue from.
+//
+// Exit-code contract:
+//   0  every selected experiment succeeded (and --min-hit-rate held)
+//   3  partial: some experiments failed after retries, but at least one
+//      succeeded — the exported JSON holds the successes + error records
+//   1  unusable: every experiment failed, --min-hit-rate violated, or
+//      --fail-fast aborted on the first failure
+//   2  usage error (bad flags, unknown ids, unreadable --resume manifest)
 #pragma once
 
 #include <cstdint>
@@ -19,6 +34,11 @@
 #include "cli/experiment.h"
 
 namespace vdbench::cli {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUnusable = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitPartial = 3;
 
 struct DriverOptions {
   /// Comma-separated experiment selection; "all" = every cacheable one.
@@ -40,7 +60,30 @@ struct DriverOptions {
   std::string artifact_dir;  ///< where experiment artifacts land ("" = cwd)
   /// Fail the run (exit 1) when the cacheable hit rate lands below this;
   /// negative disables the assertion. CI's warm-cache smoke uses 0.9.
+  /// Evaluated on every run — a partial run reports both its failures and
+  /// a cold cache instead of one masking the other.
   double min_hit_rate = -1.0;
+  /// Extra compute attempts per experiment after a failure (exception,
+  /// injected fault, or watchdog timeout). Each retry re-runs the
+  /// experiment from scratch — same seed, fresh state — so a retried
+  /// result is byte-identical to a first-try one.
+  std::size_t retries = 0;
+  /// Base backoff before retry k (doubling, capped at 5s): delay =
+  /// min(5000, retry_backoff_ms << (k-1)). 0 disables sleeping (tests).
+  std::uint64_t retry_backoff_ms = 100;
+  /// Per-experiment wall-clock watchdog in seconds; <= 0 disables. On
+  /// expiry the experiment is cancelled via the executor's cooperative
+  /// cancellation token and classified as "timeout" (then retried, if
+  /// retries remain).
+  double timeout_sec = 0.0;
+  /// Abort the study on the first experiment that fails after retries
+  /// (exit 1), restoring the pre-supervisor behaviour.
+  bool fail_fast = false;
+  /// Path to a previous run's manifest: experiments it records as
+  /// succeeded replay from the cache (their payloads are content-addressed
+  /// there), failed or missing ones run again, and the prior attempts'
+  /// timings carry into the new manifest. Empty = fresh run.
+  std::string resume_path;
   /// Study seed baked into the experiments; becomes part of every cache
   /// key so a seed change can never serve stale results.
   std::uint64_t study_seed = 0;
@@ -48,6 +91,16 @@ struct DriverOptions {
   /// (seconds); injectable so tests are deterministic. Defaults to the
   /// system clock when null.
   std::function<std::uint64_t()> clock;
+};
+
+/// One compute (or replay) attempt of one experiment, as recorded in the
+/// manifest. `result` is "ok" or the error class: "exception",
+/// "injected_fault", "timeout", "unknown".
+struct AttemptRecord {
+  std::string result;
+  std::string error;      ///< empty when result == "ok"
+  double seconds = 0.0;
+  bool prior = false;     ///< carried over from a --resume'd manifest
 };
 
 struct ExperimentOutcome {
@@ -58,15 +111,24 @@ struct ExperimentOutcome {
   double seconds = 0.0;
   std::uint64_t timestamp = 0;
   std::vector<stats::StageTimer::Stage> stages;
-  std::string error;  ///< non-empty when source == kFailed
+  std::string error;        ///< non-empty when source == kFailed
+  std::string error_class;  ///< error taxonomy when source == kFailed
+  /// Every attempt this run made (and, under --resume, the prior run's
+  /// attempts first, flagged prior). A cache replay records one "ok" row.
+  std::vector<AttemptRecord> attempts;
+  bool resumed = false;  ///< had a record in the --resume manifest
 };
 
 struct RunOutcome {
   int exit_code = 0;
   std::size_t hits = 0;
   std::size_t misses = 0;  ///< cacheable lookups that had to compute
+  std::size_t failed = 0;  ///< experiments that failed after retries
   double hit_rate = 0.0;
+  bool hit_rate_ok = true;  ///< --min-hit-rate assertion (true when unset)
   double total_seconds = 0.0;
+  /// "ok" | "partial" | "unusable" — mirrors the exit-code contract.
+  std::string status = "ok";
   std::vector<ExperimentOutcome> experiments;
 };
 
@@ -81,7 +143,8 @@ struct RunOutcome {
                                     const DriverOptions& options,
                                     std::ostream& out);
 
-/// main() body for the vdbench binary.
+/// main() body for the vdbench binary. Arms the global fault injector from
+/// VDBENCH_FAULTS (a malformed spec is a usage error, exit 2).
 [[nodiscard]] int vdbench_main(int argc, const char* const* argv,
                                const ExperimentRegistry& registry,
                                std::uint64_t study_seed);
@@ -101,5 +164,16 @@ struct DecodedPayload {
 /// payload document (treated as cache corruption by the driver).
 [[nodiscard]] std::optional<DecodedPayload> decode_payload(
     std::string_view payload);
+
+/// Per-experiment record loaded back from a --resume manifest.
+struct PriorRecord {
+  bool ok = false;
+  std::vector<AttemptRecord> attempts;  ///< flagged prior = true
+};
+
+/// Parse a run manifest into id → prior record; nullopt when the file is
+/// missing or not a structurally valid manifest.
+[[nodiscard]] std::optional<std::vector<std::pair<std::string, PriorRecord>>>
+load_resume_manifest(const std::string& path);
 
 }  // namespace vdbench::cli

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "stats/parallel.h"
 #include "stats/timer.h"
 
 namespace vdbench::cli {
@@ -46,6 +47,14 @@ struct ExperimentContext {
 
   void add_artifact(std::string name, std::string content) {
     artifacts.push_back({std::move(name), std::move(content)});
+  }
+
+  /// True when the driver's watchdog has cancelled this experiment. The
+  /// parallel engine polls this between task claims automatically; bodies
+  /// with long serial sections may poll it themselves and throw
+  /// stats::Cancelled to honour the watchdog faster.
+  [[nodiscard]] bool cancellation_requested() const noexcept {
+    return stats::cancellation_requested();
   }
 };
 

@@ -1,0 +1,180 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace vdbench::fault {
+
+namespace {
+
+constexpr std::array<std::string_view, 5> kKnownPoints = {
+    "cache.read", "cache.write", "experiment.body", "executor.task",
+    "manifest.write"};
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  return text;
+}
+
+[[noreturn]] void bad_spec(std::string_view clause, std::string_view why) {
+  throw std::invalid_argument("VDBENCH_FAULTS: bad clause '" +
+                              std::string(clause) + "': " + std::string(why));
+}
+
+std::uint64_t parse_count(std::string_view clause, std::string_view digits,
+                          std::string_view what) {
+  if (digits.empty()) bad_spec(clause, std::string(what) + " is empty");
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      bad_spec(clause, std::string(what) + " is not a positive integer");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value == 0)
+    bad_spec(clause, std::string(what) + " must be >= 1");
+  return value;
+}
+
+Action parse_action(std::string_view clause, std::string_view token) {
+  if (token == "io_error") return Action::kIoError;
+  if (token == "throw") return Action::kThrow;
+  if (token == "timeout") return Action::kTimeout;
+  if (token == "corrupt") return Action::kCorrupt;
+  if (token == "truncate") return Action::kTruncate;
+  bad_spec(clause, "unknown action '" + std::string(token) +
+                       "' (io_error|throw|timeout|corrupt|truncate)");
+}
+
+FaultRule parse_clause(std::string_view clause) {
+  FaultRule rule;
+  const std::size_t eq = clause.find('=');
+  if (eq == std::string_view::npos) bad_spec(clause, "missing '='");
+  const std::string_view point = trim(clause.substr(0, eq));
+  if (std::find(kKnownPoints.begin(), kKnownPoints.end(), point) ==
+      kKnownPoints.end())
+    bad_spec(clause, "unknown point '" + std::string(point) + "'");
+  rule.point = std::string(point);
+
+  const std::string_view rest = trim(clause.substr(eq + 1));
+  const std::size_t at = rest.find('@');
+  rule.action = parse_action(clause, trim(rest.substr(0, at)));
+  if (at == std::string_view::npos) return rule;  // fire on every hit
+
+  std::string_view target = trim(rest.substr(at + 1));
+  const std::size_t colon = target.rfind(':');
+  if (colon != std::string_view::npos) {
+    rule.key = std::string(trim(target.substr(0, colon)));
+    if (rule.key.empty()) bad_spec(clause, "empty key before ':'");
+    target = trim(target.substr(colon + 1));
+  }
+  const std::size_t x = target.find('x');
+  if (x != std::string_view::npos) {
+    rule.trigger = parse_count(clause, target.substr(0, x), "trigger count");
+    rule.repeat = parse_count(clause, target.substr(x + 1), "repeat count");
+  } else {
+    rule.trigger = parse_count(clause, target, "trigger count");
+  }
+  return rule;
+}
+
+}  // namespace
+
+std::string_view action_name(Action action) noexcept {
+  switch (action) {
+    case Action::kNone: return "none";
+    case Action::kIoError: return "io_error";
+    case Action::kThrow: return "throw";
+    case Action::kTimeout: return "timeout";
+    case Action::kCorrupt: return "corrupt";
+    case Action::kTruncate: return "truncate";
+  }
+  return "unknown";
+}
+
+std::vector<FaultRule> Injector::parse(std::string_view spec) {
+  std::vector<FaultRule> rules;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view clause = trim(spec.substr(pos, end - pos));
+    if (!clause.empty()) rules.push_back(parse_clause(clause));
+    if (end == spec.size()) break;
+    pos = end + 1;
+  }
+  return rules;
+}
+
+void Injector::arm(std::string_view spec) {
+  std::vector<FaultRule> rules = parse(spec);  // may throw; state untouched
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_ = std::move(rules);
+  total_fired_.store(0, std::memory_order_relaxed);
+  armed_.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+bool Injector::arm_from_env() {
+  const char* spec = std::getenv("VDBENCH_FAULTS");
+  if (spec == nullptr || *spec == '\0') return false;
+  arm(spec);
+  return true;
+}
+
+void Injector::disarm() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+Action Injector::hit(std::string_view point, std::string_view key) {
+  if (!armed()) return Action::kNone;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Action result = Action::kNone;
+  for (FaultRule& rule : rules_) {
+    if (rule.point != point) continue;
+    if (!rule.key.empty() && rule.key != key) continue;
+    const std::uint64_t ordinal = ++rule.hits;
+    const bool fires =
+        rule.trigger == 0 ||
+        (ordinal >= rule.trigger && ordinal < rule.trigger + rule.repeat);
+    if (fires && result == Action::kNone) {
+      ++rule.fired;
+      total_fired_.fetch_add(1, std::memory_order_relaxed);
+      result = rule.action;
+    }
+  }
+  return result;
+}
+
+std::uint64_t Injector::total_fired() const noexcept {
+  return total_fired_.load(std::memory_order_relaxed);
+}
+
+std::vector<FaultRule> Injector::rules() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rules_;
+}
+
+Injector& Injector::global() {
+  static Injector instance;
+  return instance;
+}
+
+void flip_one_bit(std::string& bytes, std::uint64_t salt) noexcept {
+  if (bytes.empty()) return;
+  // Weyl-style mix so consecutive salts land on well-spread bytes.
+  const std::uint64_t mixed = (salt + 1) * 0x9E3779B97F4A7C15ULL;
+  bytes[mixed % bytes.size()] ^= static_cast<char>(1 << (mixed % 8));
+}
+
+void truncate_tail(std::string& bytes) noexcept {
+  bytes.resize(bytes.size() / 2);
+}
+
+}  // namespace vdbench::fault

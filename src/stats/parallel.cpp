@@ -1,8 +1,10 @@
 #include "stats/parallel.h"
 
+#include "fault/injector.h"
 #include "stats/env.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -20,7 +22,62 @@ namespace {
 // calls detect it and degrade to inline serial execution.
 thread_local bool tl_inside_task = false;
 
+// The token installed by the innermost ScopedCancellationToken; polled
+// between task claims. Atomic pointer + atomic flag, so workers never need
+// a lock to observe cancellation.
+std::atomic<CancellationToken*> g_cancel_token{nullptr};
+
+// Cooperative stall for the injected `executor.task=timeout` action: blocks
+// until the watchdog cancels, with a hard cap so an unsupervised stall
+// cannot wedge a run forever.
+void injected_stall() {
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+             .count() < 5.0) {
+    if (cancellation_requested()) throw Cancelled();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  throw fault::InjectedFault(
+      "injected executor.task stall expired without cancellation");
+}
+
+// Every task funnels through here so the fault hook and its key discipline
+// (decimal task index, making schedules thread-count independent) exist in
+// exactly one place. Zero-cost when the injector is disarmed.
+void run_task(const std::function<void(std::size_t)>& fn, std::size_t i) {
+  fault::Injector& injector = fault::Injector::global();
+  if (injector.armed()) {
+    switch (injector.hit("executor.task", std::to_string(i))) {
+      case fault::Action::kThrow:
+      case fault::Action::kIoError:
+        throw fault::InjectedFault("injected executor.task fault at index " +
+                                   std::to_string(i));
+      case fault::Action::kTimeout:
+        injected_stall();
+        break;
+      default:
+        break;
+    }
+  }
+  fn(i);
+}
+
 }  // namespace
+
+ScopedCancellationToken::ScopedCancellationToken(
+    CancellationToken* token) noexcept
+    : previous_(g_cancel_token.exchange(token, std::memory_order_relaxed)) {}
+
+ScopedCancellationToken::~ScopedCancellationToken() {
+  g_cancel_token.store(previous_, std::memory_order_relaxed);
+}
+
+bool cancellation_requested() noexcept {
+  const CancellationToken* token =
+      g_cancel_token.load(std::memory_order_relaxed);
+  return token != nullptr && token->cancelled();
+}
 
 struct ParallelExecutor::Impl {
   std::size_t thread_count = 1;
@@ -45,13 +102,15 @@ struct ParallelExecutor::Impl {
 
   // Claim and run tasks until the index range is exhausted. Every task runs
   // even after a failure so the propagated (lowest-index) exception does not
-  // depend on scheduling.
+  // depend on scheduling — except under cancellation, where remaining tasks
+  // are abandoned and the whole computation is discarded anyway.
   void drain() {
     tl_inside_task = true;
     for (std::size_t i = next_index.fetch_add(1); i < n;
          i = next_index.fetch_add(1)) {
+      if (cancellation_requested()) break;
       try {
-        (*fn)(i);
+        run_task(*fn, i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (i < first_error_index) {
@@ -119,8 +178,9 @@ void ParallelExecutor::parallel_for_indexed(
     const bool was_inside = tl_inside_task;
     tl_inside_task = true;
     for (std::size_t i = 0; i < n; ++i) {
+      if (cancellation_requested()) break;
       try {
-        fn(i);
+        run_task(fn, i);
       } catch (...) {
         if (i < first_error_index) {
           first_error_index = i;
@@ -129,6 +189,7 @@ void ParallelExecutor::parallel_for_indexed(
       }
     }
     tl_inside_task = was_inside;
+    if (cancellation_requested()) throw Cancelled();
     if (first_error) std::rethrow_exception(first_error);
     return;
   }
@@ -152,6 +213,9 @@ void ParallelExecutor::parallel_for_indexed(
     impl_->work_done.wait(lock, [&] { return impl_->workers_active == 0; });
     impl_->fn = nullptr;
   }
+  // Cancellation outranks task errors: both mean the computation is void,
+  // but Cancelled tells the supervisor the watchdog (not the workload) spoke.
+  if (cancellation_requested()) throw Cancelled();
   if (impl_->first_error) std::rethrow_exception(impl_->first_error);
 }
 

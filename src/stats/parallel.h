@@ -16,11 +16,60 @@
 // cannot deadlock the fixed pool.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 
 namespace vdbench::stats {
+
+/// Cooperative cancellation flag shared between a supervisor (the driver's
+/// watchdog) and the execution engine. Cancellation never interrupts a task
+/// mid-flight — workers observe the flag between task claims, stop claiming,
+/// and the fork-join call throws Cancelled. A cancelled computation's partial
+/// results are therefore scheduling-dependent and must be discarded wholesale;
+/// a fresh run after cancellation is bit-identical to a first-try run.
+class CancellationToken {
+ public:
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Thrown by parallel_for_indexed (and cooperative stall points) when the
+/// installed CancellationToken fires.
+struct Cancelled : std::runtime_error {
+  Cancelled() : std::runtime_error("cancelled by watchdog") {}
+};
+
+/// Install `token` as the process-wide token parallel loops poll between
+/// task claims (nullptr = none) for the lifetime of the guard; restores the
+/// previous token on destruction. Only one experiment runs at a time, so a
+/// process-wide slot is sufficient and keeps the hot path to one relaxed
+/// atomic load.
+class ScopedCancellationToken {
+ public:
+  explicit ScopedCancellationToken(CancellationToken* token) noexcept;
+  ~ScopedCancellationToken();
+  ScopedCancellationToken(const ScopedCancellationToken&) = delete;
+  ScopedCancellationToken& operator=(const ScopedCancellationToken&) = delete;
+
+ private:
+  CancellationToken* previous_;
+};
+
+/// True when a token is installed and has been cancelled. Long serial
+/// sections (experiment bodies between parallel loops) may poll this and
+/// throw Cancelled themselves to honour the watchdog faster.
+[[nodiscard]] bool cancellation_requested() noexcept;
 
 /// Fixed-size thread pool with an indexed fork-join primitive.
 class ParallelExecutor {
@@ -43,6 +92,8 @@ class ParallelExecutor {
   /// throws; the exception with the lowest task index is rethrown afterwards,
   /// so the error surfaced is itself independent of the thread count.
   /// n == 0 is a no-op. Calls from inside a task run inline (serially).
+  /// When the installed CancellationToken fires, workers stop claiming
+  /// tasks and the call throws Cancelled once the in-flight tasks drain.
   void parallel_for_indexed(std::size_t n,
                             const std::function<void(std::size_t)>& fn);
 

@@ -8,6 +8,7 @@
 
 #include "cache/hash.h"
 #include "cli/experiment.h"
+#include "fault/injector.h"
 
 namespace vdbench::cache {
 namespace {
@@ -259,6 +260,124 @@ TEST_F(ResultCacheTest, ResolveDirPrefersExplicitOverEnvironment) {
 TEST_F(ResultCacheTest, ResolveMaxBytesPrefersExplicitThenDefault) {
   EXPECT_EQ(ResultCache::resolve_max_bytes(123), 123u);
   EXPECT_EQ(ResultCache::resolve_max_bytes(0), 256ULL << 20);
+}
+
+// --- injector-driven fault drills ----------------------------------------
+//
+// The same corruption classes the hand-crafted tests above exercise, but
+// produced through the `cache.read` / `cache.write` fault points — the
+// exact machinery CI's fault matrix arms via VDBENCH_FAULTS. Every drill
+// asserts the recovery invariant: after the fault, a recompute-and-restore
+// cycle yields a payload byte-identical to the uninjected run.
+
+class ResultCacheFaultTest : public ResultCacheTest {
+ protected:
+  void TearDown() override {
+    fault::Injector::global().disarm();
+    ResultCacheTest::TearDown();
+  }
+};
+
+TEST_F(ResultCacheFaultTest, InjectedReadIoErrorIsAMissEntryIntact) {
+  ResultCache cache = make_cache();
+  const CacheKey key = sample_key();
+  ASSERT_TRUE(cache.store(key, "payload", 1));
+  fault::Injector::global().arm("cache.read=io_error@e1:1");
+  EXPECT_FALSE(cache.fetch(key, 2).has_value());  // injected: plain miss
+  EXPECT_EQ(cache.stats().corrupt_entries, 0u);   // not corruption
+  EXPECT_TRUE(fs::exists(entry_file(key)));       // entry left intact
+  const auto again = cache.fetch(key, 3);         // schedule exhausted
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, "payload");
+}
+
+TEST_F(ResultCacheFaultTest, InjectedBitFlipFailsChecksumThenRecomputes) {
+  ResultCache cache = make_cache();
+  const CacheKey key = sample_key();
+  ASSERT_TRUE(cache.store(key, "payload", 1));
+  fault::Injector::global().arm("cache.read=corrupt@e1:1");
+  EXPECT_FALSE(cache.fetch(key, 2).has_value());
+  EXPECT_EQ(cache.stats().corrupt_entries, 1u);
+  // Recompute-and-store round trip restores the uninjected bytes.
+  ASSERT_TRUE(cache.store(key, "payload", 3));
+  const auto restored = cache.fetch(key, 4);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, "payload");
+}
+
+TEST_F(ResultCacheFaultTest, InjectedTruncationIsCorruptionThenRecomputes) {
+  ResultCache cache = make_cache();
+  const CacheKey key = sample_key();
+  ASSERT_TRUE(cache.store(key, "a payload long enough to truncate", 1));
+  fault::Injector::global().arm("cache.read=truncate@e1:1");
+  EXPECT_FALSE(cache.fetch(key, 2).has_value());
+  EXPECT_EQ(cache.stats().corrupt_entries, 1u);
+  EXPECT_FALSE(fs::exists(entry_file(key)));  // bad entry deleted
+  ASSERT_TRUE(cache.store(key, "a payload long enough to truncate", 3));
+  const auto restored = cache.fetch(key, 4);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, "a payload long enough to truncate");
+}
+
+TEST_F(ResultCacheFaultTest, InjectedWriteIoErrorFailsTheStoreCleanly) {
+  // Simulates ENOSPC: the store reports failure, nothing lands on disk, and
+  // the retry (schedule exhausted) persists the identical entry bytes a
+  // clean first-try store would have produced.
+  ResultCache cache = make_cache();
+  const CacheKey key = sample_key();
+  fault::Injector::global().arm("cache.write=io_error@e1:1");
+  EXPECT_FALSE(cache.store(key, "payload", 1));
+  EXPECT_FALSE(fs::exists(entry_file(key)));
+  EXPECT_EQ(cache.stats().stores, 0u);
+  ASSERT_TRUE(cache.store(key, "payload", 2));
+  const std::string injected_then_stored = [&] {
+    std::ifstream in(entry_file(key), std::ios::binary);
+    return std::string{std::istreambuf_iterator<char>(in), {}};
+  }();
+  fault::Injector::global().disarm();
+  fs::remove(entry_file(key));
+  ASSERT_TRUE(cache.store(key, "payload", 3));
+  std::ifstream in(entry_file(key), std::ios::binary);
+  const std::string clean{std::istreambuf_iterator<char>(in), {}};
+  EXPECT_EQ(injected_then_stored, clean);
+}
+
+TEST_F(ResultCacheFaultTest, InjectedWriteCorruptionIsCaughtOnNextFetch) {
+  // A store that persists damaged bytes (torn write survived the rename) is
+  // caught by the checksum on the next fetch and degrades to recompute.
+  ResultCache cache = make_cache();
+  const CacheKey key = sample_key();
+  fault::Injector::global().arm("cache.write=corrupt@e1:1");
+  ASSERT_TRUE(cache.store(key, "payload", 1));  // store "succeeds"...
+  fault::Injector::global().disarm();
+  EXPECT_FALSE(cache.fetch(key, 2).has_value());  // ...fetch catches it
+  EXPECT_EQ(cache.stats().corrupt_entries, 1u);
+  ASSERT_TRUE(cache.store(key, "payload", 3));
+  const auto restored = cache.fetch(key, 4);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, "payload");
+}
+
+TEST_F(ResultCacheFaultTest, InjectedThrowPropagatesToTheCaller) {
+  ResultCache cache = make_cache();
+  const CacheKey key = sample_key();
+  fault::Injector::global().arm(
+      "cache.read=throw@e1:1;cache.write=throw@e1:1");
+  EXPECT_THROW((void)cache.store(key, "payload", 1), fault::InjectedFault);
+  EXPECT_THROW((void)cache.fetch(key, 2), fault::InjectedFault);
+}
+
+TEST_F(ResultCacheFaultTest, KeyFilteredFaultLeavesOtherExperimentsAlone) {
+  ResultCache cache = make_cache();
+  const CacheKey e1 = sample_key();
+  CacheKey e2 = sample_key();
+  e2.experiment_id = "e2";
+  ASSERT_TRUE(cache.store(e1, "p1", 1));
+  ASSERT_TRUE(cache.store(e2, "p2", 2));
+  fault::Injector::global().arm("cache.read=io_error@e2:1");
+  EXPECT_TRUE(cache.fetch(e1, 3).has_value());   // unaffected
+  EXPECT_FALSE(cache.fetch(e2, 4).has_value());  // injected miss
+  EXPECT_TRUE(cache.fetch(e2, 5).has_value());   // schedule exhausted
 }
 
 }  // namespace

@@ -2,14 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/experiment.h"
 #include "experiments.h"
+#include "stats/parallel.h"
 
 namespace vdbench::cli {
 namespace {
@@ -323,6 +327,266 @@ TEST_F(DriverTest, ThreadCountDoesNotChangeKeysOrPayloads) {
   EXPECT_EQ(slurp(entry1), slurp(entry8));
   // ...identical JSON exports.
   EXPECT_EQ(slurp(dir_ / "one.json"), slurp(dir_ / "eight.json"));
+}
+
+// --- resilience supervisor ------------------------------------------------
+
+TEST(ParseArgsTest, ParsesResilienceFlags) {
+  const char* argv[] = {"vdbench",           "--retries=2",
+                        "--retry-backoff-ms", "50",
+                        "--timeout-sec=1.5",  "--fail-fast",
+                        "--resume",           "prev.json"};
+  std::ostringstream err;
+  bool help = false;
+  const auto options =
+      parse_args(static_cast<int>(std::size(argv)), argv, err, &help);
+  ASSERT_TRUE(options.has_value()) << err.str();
+  EXPECT_EQ(options->retries, 2u);
+  EXPECT_EQ(options->retry_backoff_ms, 50u);
+  EXPECT_DOUBLE_EQ(options->timeout_sec, 1.5);
+  EXPECT_TRUE(options->fail_fast);
+  EXPECT_EQ(options->resume_path, "prev.json");
+}
+
+TEST(ParseArgsTest, RejectsBadResilienceValues) {
+  std::ostringstream err;
+  bool help = false;
+  const char* bad_retries[] = {"vdbench", "--retries=-1"};
+  EXPECT_FALSE(parse_args(2, bad_retries, err, &help).has_value());
+  const char* bad_timeout[] = {"vdbench", "--timeout-sec=0"};
+  EXPECT_FALSE(parse_args(2, bad_timeout, err, &help).has_value());
+  const char* bad_backoff[] = {"vdbench", "--retry-backoff-ms=ten"};
+  EXPECT_FALSE(parse_args(2, bad_backoff, err, &help).has_value());
+}
+
+// A registry whose "flaky" experiment fails its first `failures` attempts,
+// then succeeds with output identical to the always-healthy variant.
+ExperimentRegistry flaky_registry(std::shared_ptr<int> remaining_failures) {
+  ExperimentRegistry registry;
+  registry.add({"f1", "fails then recovers", "flaky{n=1}", true,
+                [remaining_failures](ExperimentContext& ctx) {
+                  if (*remaining_failures > 0) {
+                    --*remaining_failures;
+                    throw std::runtime_error("transient failure");
+                  }
+                  ctx.out << "f1 report line\n";
+                  ctx.add_artifact("f1_data.json", "{\"v\":1}\n");
+                }});
+  return registry;
+}
+
+TEST_F(DriverTest, RetryRecoversAndResultIsByteIdenticalToCleanRun) {
+  DriverOptions options = base_options();
+  options.quiet = true;
+  options.retries = 2;
+  options.retry_backoff_ms = 0;
+
+  options.json_out = (dir_ / "clean.json").string();
+  options.cache_dir = (dir_ / "cache_clean").string();
+  const RunOutcome clean =
+      run_driver(flaky_registry(std::make_shared<int>(0)), options, std::cout);
+  ASSERT_EQ(clean.exit_code, kExitOk);
+
+  options.json_out = (dir_ / "recovered.json").string();
+  options.cache_dir = (dir_ / "cache_recovered").string();
+  std::ostringstream out;
+  const RunOutcome recovered =
+      run_driver(flaky_registry(std::make_shared<int>(2)), options, out);
+  ASSERT_EQ(recovered.exit_code, kExitOk);
+  ASSERT_EQ(recovered.experiments.size(), 1u);
+  const ExperimentOutcome& outcome = recovered.experiments[0];
+  ASSERT_EQ(outcome.attempts.size(), 3u);
+  EXPECT_EQ(outcome.attempts[0].result, "exception");
+  EXPECT_EQ(outcome.attempts[1].result, "exception");
+  EXPECT_EQ(outcome.attempts[2].result, "ok");
+  EXPECT_NE(out.str().find("attempt 1/3 failed [exception]"),
+            std::string::npos);
+  // The recovered run's export is byte-identical to the clean run's.
+  EXPECT_EQ(slurp(dir_ / "clean.json"), slurp(dir_ / "recovered.json"));
+}
+
+TEST_F(DriverTest, ExhaustedRetriesFailTheExperiment) {
+  DriverOptions options = base_options();
+  options.quiet = true;
+  options.retries = 1;
+  options.retry_backoff_ms = 0;
+  std::ostringstream out;
+  const RunOutcome run = run_driver(
+      flaky_registry(std::make_shared<int>(5)), options, out);
+  EXPECT_EQ(run.exit_code, kExitUnusable);  // the only experiment failed
+  ASSERT_EQ(run.experiments.size(), 1u);
+  EXPECT_EQ(run.experiments[0].attempts.size(), 2u);
+  EXPECT_EQ(run.experiments[0].error_class, "exception");
+}
+
+ExperimentRegistry half_broken_registry() {
+  ExperimentRegistry registry;
+  registry.add({"ok1", "healthy", "hb{n=1}", true,
+                [](ExperimentContext& ctx) { ctx.out << "ok1 line\n"; }});
+  registry.add({"bad", "always fails", "hb{n=2}", true,
+                [](ExperimentContext&) {
+                  throw std::runtime_error("permanently broken");
+                }});
+  registry.add({"ok2", "healthy", "hb{n=3}", true,
+                [](ExperimentContext& ctx) { ctx.out << "ok2 line\n"; }});
+  return registry;
+}
+
+TEST_F(DriverTest, PartialRunExitsThreeAndStillExports) {
+  DriverOptions options = base_options();
+  options.quiet = true;
+  options.json_out = (dir_ / "partial.json").string();
+  std::ostringstream out;
+  const RunOutcome run =
+      run_driver(half_broken_registry(), options, out);
+  EXPECT_EQ(run.exit_code, kExitPartial);
+  EXPECT_EQ(run.status, "partial");
+  EXPECT_EQ(run.failed, 1u);
+  ASSERT_EQ(run.experiments.size(), 3u);  // study continued past the failure
+
+  // The export carries the successes AND the per-experiment error records.
+  const std::string exported = slurp(dir_ / "partial.json");
+  ASSERT_FALSE(exported.empty());
+  EXPECT_NE(exported.find("ok1 line"), std::string::npos);
+  EXPECT_NE(exported.find("ok2 line"), std::string::npos);
+  EXPECT_NE(exported.find("\"experiment\":\"bad\""), std::string::npos);
+  EXPECT_NE(exported.find("\"error_class\":\"exception\""),
+            std::string::npos);
+
+  // So does the manifest, with the full attempt history.
+  const std::string manifest = slurp(dir_ / "manifest.json");
+  EXPECT_NE(manifest.find("\"status\":\"partial\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"error\":\"permanently broken\""),
+            std::string::npos);
+}
+
+TEST_F(DriverTest, FailFastAbortsOnFirstFailure) {
+  DriverOptions options = base_options();
+  options.quiet = true;
+  options.fail_fast = true;
+  std::ostringstream out;
+  const RunOutcome run =
+      run_driver(half_broken_registry(), options, out);
+  EXPECT_EQ(run.exit_code, kExitUnusable);
+  ASSERT_EQ(run.experiments.size(), 2u);  // ok1, bad — ok2 never ran
+  EXPECT_NE(out.str().find("--fail-fast"), std::string::npos);
+}
+
+TEST_F(DriverTest, PartialRunAndColdCacheReportBothConditions) {
+  DriverOptions options = base_options();
+  options.quiet = true;
+  options.min_hit_rate = 0.9;  // cold run: guaranteed violation
+  std::ostringstream out;
+  const RunOutcome run =
+      run_driver(half_broken_registry(), options, out);
+  EXPECT_EQ(run.exit_code, kExitPartial);
+  EXPECT_FALSE(run.hit_rate_ok);  // the violation is no longer masked
+  EXPECT_NE(out.str().find("below required"), std::string::npos);
+  EXPECT_NE(out.str().find("run partial"), std::string::npos);
+}
+
+TEST_F(DriverTest, UnreadableResumeManifestIsAUsageError) {
+  DriverOptions options = base_options();
+  options.resume_path = (dir_ / "nonexistent.json").string();
+  std::ostringstream out;
+  EXPECT_EQ(run_driver(toy_registry(), options, out).exit_code, kExitUsage);
+
+  std::ofstream(dir_ / "garbage.json") << "not a manifest";
+  options.resume_path = (dir_ / "garbage.json").string();
+  EXPECT_EQ(run_driver(toy_registry(), options, out).exit_code, kExitUsage);
+}
+
+TEST_F(DriverTest, ResumeReplaysRecordedSuccessesAndRerunsFailures) {
+  DriverOptions options = base_options();
+  options.quiet = true;
+
+  // First run: ok1/ok2 succeed, bad fails — partial manifest on disk.
+  std::ostringstream first_out;
+  const RunOutcome first =
+      run_driver(half_broken_registry(), options, first_out);
+  ASSERT_EQ(first.exit_code, kExitPartial);
+
+  // "Fix the bug" (a registry where bad now succeeds) and resume.
+  ExperimentRegistry fixed;
+  fixed.add({"ok1", "healthy", "hb{n=1}", true,
+             [](ExperimentContext& ctx) { ctx.out << "ok1 line\n"; }});
+  fixed.add({"bad", "now fixed", "hb{n=2}", true,
+             [](ExperimentContext& ctx) { ctx.out << "bad fixed line\n"; }});
+  fixed.add({"ok2", "healthy", "hb{n=3}", true,
+             [](ExperimentContext& ctx) { ctx.out << "ok2 line\n"; }});
+  DriverOptions resume = options;
+  resume.resume_path = (dir_ / "manifest.json").string();
+  resume.manifest_path = (dir_ / "manifest2.json").string();
+  std::ostringstream out;
+  const RunOutcome second = run_driver(fixed, resume, out);
+  EXPECT_EQ(second.exit_code, kExitOk);
+  ASSERT_EQ(second.experiments.size(), 3u);
+  // ok1/ok2 replay from the cache; bad recomputes.
+  EXPECT_EQ(second.experiments[0].source, ExperimentOutcome::Source::kCacheHit);
+  EXPECT_TRUE(second.experiments[0].resumed);
+  EXPECT_EQ(second.experiments[1].source, ExperimentOutcome::Source::kComputed);
+  EXPECT_EQ(second.experiments[2].source, ExperimentOutcome::Source::kCacheHit);
+  EXPECT_NE(out.str().find("resuming from"), std::string::npos);
+
+  // The new manifest carries both runs' attempts: the prior failed attempt
+  // (flagged prior) and this run's successful one, each with a timing.
+  const std::string manifest = slurp(dir_ / "manifest2.json");
+  EXPECT_NE(manifest.find("\"prior\":true"), std::string::npos);
+  EXPECT_NE(manifest.find("\"result\":\"exception\""), std::string::npos);
+  ASSERT_EQ(second.experiments[1].attempts.size(), 2u);
+  EXPECT_TRUE(second.experiments[1].attempts[0].prior);
+  EXPECT_EQ(second.experiments[1].attempts[0].result, "exception");
+  EXPECT_EQ(second.experiments[1].attempts[1].result, "ok");
+  EXPECT_GE(second.experiments[1].attempts[1].seconds, 0.0);
+}
+
+TEST_F(DriverTest, ManifestIsPublishedIncrementallyDuringTheRun) {
+  // The second experiment's body reads the manifest off disk mid-run: the
+  // first experiment must already be recorded (and flagged incomplete) —
+  // that is the crash-safety window --resume depends on.
+  const fs::path manifest_path = dir_ / "manifest.json";
+  std::string mid_run_manifest;
+  ExperimentRegistry registry;
+  registry.add({"a1", "first", "inc{n=1}", true,
+                [](ExperimentContext& ctx) { ctx.out << "a1 line\n"; }});
+  registry.add({"a2", "spies on the manifest", "inc{n=2}", true,
+                [&](ExperimentContext& ctx) {
+                  mid_run_manifest = slurp(manifest_path);
+                  ctx.out << "a2 line\n";
+                }});
+  DriverOptions options = base_options();
+  options.quiet = true;
+  ASSERT_EQ(run_driver(registry, options, std::cout).exit_code, kExitOk);
+  EXPECT_NE(mid_run_manifest.find("\"id\":\"a1\""), std::string::npos);
+  EXPECT_NE(mid_run_manifest.find("\"complete\":false"), std::string::npos);
+  // The final manifest is complete and records both experiments.
+  const std::string final_manifest = slurp(manifest_path);
+  EXPECT_NE(final_manifest.find("\"complete\":true"), std::string::npos);
+  EXPECT_NE(final_manifest.find("\"id\":\"a2\""), std::string::npos);
+}
+
+TEST_F(DriverTest, WatchdogCancelsARunawayExperiment) {
+  ExperimentRegistry registry;
+  registry.add({"slow", "cooperatively hangs", "slow{}", true,
+                [](ExperimentContext& ctx) {
+                  // Parallel tasks poll the cancellation token between
+                  // claims; the watchdog drains the loop via Cancelled.
+                  stats::parallel_for_indexed(1u << 20, [&](std::size_t) {
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(50));
+                  });
+                  ctx.out << "never reached\n";
+                }});
+  DriverOptions options = base_options();
+  options.quiet = true;
+  options.timeout_sec = 0.2;
+  std::ostringstream out;
+  const RunOutcome run = run_driver(registry, options, out);
+  EXPECT_EQ(run.exit_code, kExitUnusable);
+  ASSERT_EQ(run.experiments.size(), 1u);
+  EXPECT_EQ(run.experiments[0].error_class, "timeout");
+  EXPECT_NE(run.experiments[0].error.find("exceeded --timeout-sec"),
+            std::string::npos);
 }
 
 }  // namespace

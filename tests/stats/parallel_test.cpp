@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "fault/injector.h"
 #include "stats/rng.h"
 
 namespace vdbench::stats {
@@ -132,6 +135,107 @@ TEST(GlobalExecutorTest, SetGlobalThreadsReplacesPool) {
   for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
   set_global_threads(0);  // back to the environment/hardware default
   EXPECT_GE(global_executor().thread_count(), 1u);
+}
+
+// --- cooperative cancellation --------------------------------------------
+
+TEST(CancellationTest, NoTokenInstalledMeansNeverCancelled) {
+  EXPECT_FALSE(cancellation_requested());
+}
+
+TEST(CancellationTest, ScopedTokenInstallsAndRestores) {
+  CancellationToken token;
+  {
+    ScopedCancellationToken install(&token);
+    EXPECT_FALSE(cancellation_requested());
+    token.request_cancel();
+    EXPECT_TRUE(cancellation_requested());
+  }
+  EXPECT_FALSE(cancellation_requested());  // restored on scope exit
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationTest, PreCancelledTokenThrowsCancelledImmediately) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ParallelExecutor executor(threads);
+    CancellationToken token;
+    ScopedCancellationToken install(&token);
+    token.request_cancel();
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        executor.parallel_for_indexed(64, [&](std::size_t) { ++ran; }),
+        Cancelled);
+    EXPECT_EQ(ran.load(), 0);  // workers never claimed a task
+  }
+}
+
+TEST(CancellationTest, MidRunCancelDrainsAndThrowsCancelled) {
+  ParallelExecutor executor(4);
+  CancellationToken token;
+  ScopedCancellationToken install(&token);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(executor.parallel_for_indexed(10000,
+                                             [&](std::size_t i) {
+                                               if (i == 0)
+                                                 token.request_cancel();
+                                               std::this_thread::sleep_for(
+                                                   std::chrono::
+                                                       microseconds(10));
+                                               ++ran;
+                                             }),
+               Cancelled);
+  EXPECT_LT(ran.load(), 10000);  // stopped claiming well before the end
+}
+
+TEST(CancellationTest, CancellationOutranksTaskErrors) {
+  // When the watchdog fired AND a task threw, the supervisor must see
+  // Cancelled — the task error on a cancelled run is scheduling noise.
+  ParallelExecutor executor(2);
+  CancellationToken token;
+  ScopedCancellationToken install(&token);
+  EXPECT_THROW(executor.parallel_for_indexed(100,
+                                             [&](std::size_t i) {
+                                               token.request_cancel();
+                                               if (i % 2 == 0)
+                                                 throw std::runtime_error(
+                                                     "task error");
+                                             }),
+               Cancelled);
+}
+
+// --- executor.task fault injection ---------------------------------------
+
+class ExecutorFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Injector::global().disarm(); }
+};
+
+TEST_F(ExecutorFaultTest, KeyedThrowFaultHitsTheSameTaskAtAnyThreadCount) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    fault::Injector::global().arm("executor.task=throw@17:1");
+    ParallelExecutor executor(threads);
+    std::vector<int> ran(64, 0);
+    try {
+      executor.parallel_for_indexed(64, [&](std::size_t i) { ran[i] = 1; });
+      FAIL() << "expected InjectedFault";
+    } catch (const fault::InjectedFault& e) {
+      EXPECT_NE(std::string(e.what()).find("index 17"), std::string::npos);
+    }
+    // Deterministic blast radius: exactly task 17 was replaced by the
+    // fault; every other task still ran (the executor drains on error).
+    EXPECT_EQ(ran[17], 0);
+    for (std::size_t i = 0; i < 64; ++i)
+      if (i != 17) EXPECT_EQ(ran[i], 1) << "task " << i;
+    fault::Injector::global().disarm();
+  }
+}
+
+TEST_F(ExecutorFaultTest, DisarmedInjectorAddsNoFaults) {
+  ParallelExecutor executor(4);
+  std::atomic<int> ran{0};
+  executor.parallel_for_indexed(256, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 256);
 }
 
 }  // namespace

@@ -160,7 +160,7 @@ namespace vdbench::bench {
 namespace {
 
 void run(cli::ExperimentContext& ctx) {
-  const auto scope = ctx.timer.scope("microbenchmarks");
+  const auto scope = ctx.timer.scope(stage::kMicrobenchmarks);
   int argc = 1;
   char arg0[] = "vdbench-e10";
   char* argv[] = {arg0, nullptr};

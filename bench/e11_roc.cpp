@@ -34,7 +34,7 @@ void run(cli::ExperimentContext& ctx) {
   chart.set_y_range(0.0, 1.0);
 
   for (const vdsim::ToolProfile& tool : vdsim::builtin_tools()) {
-    const auto scope = ctx.timer.scope("ROC sweep");
+    const auto scope = ctx.timer.scope(stage::kRocSweep);
     stats::Rng rng = stats::Rng(kStudySeed + 11)
                          .split(std::hash<std::string>{}(tool.name));
     const core::RocCurve roc{vdsim::run_tool_scored(tool, workload, rng)};

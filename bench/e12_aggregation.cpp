@@ -20,7 +20,7 @@ void run(cli::ExperimentContext& ctx) {
   // A heterogeneous campaign: many small services, a few huge ones.
   std::vector<vdsim::Workload> workloads;
   for (int i = 0; i < kWorkloads; ++i) {
-    const auto scope = ctx.timer.scope("generate workloads");
+    const auto scope = ctx.timer.scope(stage::kGenerateWorkloads);
     vdsim::WorkloadSpec spec;
     spec.num_services = 15;
     spec.prevalence = 0.12;
@@ -46,7 +46,7 @@ void run(cli::ExperimentContext& ctx) {
         vdsim::make_archetype_profile(
             vdsim::ToolArchetype::kPenetrationTester, 0.65, "PT-Suite")}) {
     std::vector<core::EvalContext> contexts;
-    const auto scope = ctx.timer.scope("benchmark + aggregate");
+    const auto scope = ctx.timer.scope(stage::kBenchmarkAggregate);
     for (std::size_t i = 0; i < workloads.size(); ++i) {
       stats::Rng rng = stats::Rng(kStudySeed + 13)
                            .split(std::hash<std::string>{}(tool.name))

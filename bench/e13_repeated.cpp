@@ -39,7 +39,7 @@ void run(cli::ExperimentContext& ctx) {
 
   stats::Rng rng(kStudySeed + 13);
   const vdsim::SuiteResult suite = [&] {
-    const auto scope = ctx.timer.scope("suite campaign");
+    const auto scope = ctx.timer.scope(stage::kSuiteCampaign);
     return run_suite(vdsim::builtin_tools(), metrics, cfg, rng);
   }();
 
@@ -80,12 +80,12 @@ void run(cli::ExperimentContext& ctx) {
   out << "\nE13b (extension): weight sensitivity of the s1_critical "
          "metric recommendation\n\n";
   const auto assessments = [&] {
-    const auto scope = ctx.timer.scope("stage 1 assessment");
+    const auto scope = ctx.timer.scope(stage::kStage1Assessment);
     return run_stage1();
   }();
   const core::Scenario& scenario = core::builtin_scenario("s1_critical");
   const auto effectiveness = [&] {
-    const auto scope = ctx.timer.scope("stage 2: s1_critical");
+    const auto scope = ctx.timer.scope(stage::kStage2Prefix + std::string("s1_critical"));
     return run_stage2(scenario);
   }();
 
@@ -114,7 +114,7 @@ void run(cli::ExperimentContext& ctx) {
 
   stats::Rng srng(kStudySeed + 14);
   const mcda::SensitivityResult sens = [&] {
-    const auto scope = ctx.timer.scope("weight sensitivity");
+    const auto scope = ctx.timer.scope(stage::kWeightSensitivity);
     return mcda::weight_sensitivity(scores, weights, 0.35, 2000, srng);
   }();
   out << "baseline winner stability under 35% lognormal weight "

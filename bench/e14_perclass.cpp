@@ -22,7 +22,7 @@ void run(cli::ExperimentContext& ctx) {
   report::Table summary({"preset", "tool", "recall", "macro class recall",
                          "weakest class"});
   for (const vdsim::WorkloadPreset preset : vdsim::all_workload_presets()) {
-    const auto scope = ctx.timer.scope("preset summary");
+    const auto scope = ctx.timer.scope(stage::kPresetSummary);
     const vdsim::WorkloadSpec spec = vdsim::preset_spec(preset, 200);
     stats::Rng wrng = stats::Rng(kStudySeed + 14)
                           .split(static_cast<std::uint64_t>(preset));
@@ -46,7 +46,7 @@ void run(cli::ExperimentContext& ctx) {
   for (const vdsim::WorkloadPreset preset :
        {vdsim::WorkloadPreset::kWebServices,
         vdsim::WorkloadPreset::kLegacyMonolith}) {
-    const auto scope = ctx.timer.scope("per-class detail");
+    const auto scope = ctx.timer.scope(stage::kPerClassDetail);
     const vdsim::WorkloadSpec spec = vdsim::preset_spec(preset, 300);
     stats::Rng wrng = stats::Rng(kStudySeed + 15)
                           .split(static_cast<std::uint64_t>(preset));

@@ -16,7 +16,7 @@ namespace {
 void run(cli::ExperimentContext& ctx) {
   std::ostream& out = ctx.out;
   for (const double gamma : {0.0, 2.0}) {
-    const auto scope = ctx.timer.scope("pair analysis gamma=" +
+    const auto scope = ctx.timer.scope(stage::kPairAnalysisPrefix +
                                        report::format_value(gamma, 1));
     vdsim::WorkloadSpec spec =
         vdsim::preset_spec(vdsim::WorkloadPreset::kWebServices, 400);

@@ -93,7 +93,7 @@ void run(cli::ExperimentContext& ctx) {
 
   for (const std::size_t runs : run_counts) {
     const auto scope =
-        ctx.timer.scope("power grid R=" + std::to_string(runs));
+        ctx.timer.scope(stage::kPowerGridPrefix + std::to_string(runs));
     std::vector<std::string> powers;
     double ci_width = 0.0;
     for (std::size_t g = 0; g < gaps.size(); ++g) {
@@ -109,7 +109,7 @@ void run(cli::ExperimentContext& ctx) {
     table.add_row(std::move(row));
   }
   {
-    const auto scope = ctx.timer.scope("render");
+    const auto scope = ctx.timer.scope(stage::kRender);
     table.print(out);
     out << "\n";
     for (auto& s : series) chart.add_series(std::move(s));

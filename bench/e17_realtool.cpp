@@ -181,7 +181,7 @@ void run(cli::ExperimentContext& ctx) {
   const vdsim::Workload workload = generate_workload(spec, workload_rng);
 
   const Cohort cohort = [&] {
-    const auto scope = ctx.timer.scope("base corpus cohort");
+    const auto scope = ctx.timer.scope(stage::kBaseCorpusCohort);
     return run_cohort(workload, analyzer, kStudySeed + 1);
   }();
   const vdsim::BenchmarkResult& sast_result = cohort.results.front();
@@ -257,7 +257,7 @@ void run(cli::ExperimentContext& ctx) {
   stats::Rng low_rng(kStudySeed + 2);
   const vdsim::Workload low_workload = generate_workload(low_spec, low_rng);
   const Cohort low_cohort = [&] {
-    const auto scope = ctx.timer.scope("low-prevalence cohort");
+    const auto scope = ctx.timer.scope(stage::kLowPrevalenceCohort);
     return run_cohort(low_workload, analyzer, kStudySeed + 3);
   }();
 

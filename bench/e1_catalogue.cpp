@@ -18,7 +18,7 @@ void run(cli::ExperimentContext& ctx) {
   out << "E1: metric catalogue for vulnerability detection "
          "benchmarking ("
       << core::kMetricCount << " metrics)\n\n";
-  const auto scope = ctx.timer.scope("catalogue");
+  const auto scope = ctx.timer.scope(stage::kCatalogue);
   report::Table table({"key", "name", "formula", "family", "range",
                        "better", "prev-invariant", "needs TN"});
   for (const core::MetricId id : core::all_metrics()) {

@@ -19,7 +19,7 @@ void run(cli::ExperimentContext& ctx) {
 
   std::vector<core::MetricAssessment> assessments;
   {
-    const auto scope = ctx.timer.scope("stage 1 assessment");
+    const auto scope = ctx.timer.scope(stage::kStage1Assessment);
     assessments = run_stage1();
   }
 

@@ -35,7 +35,7 @@ void run(cli::ExperimentContext& ctx) {
   stats::Rng rng(kStudySeed);
   std::vector<vdsim::PrevalencePoint> points;
   {
-    const auto scope = ctx.timer.scope("prevalence sweep");
+    const auto scope = ctx.timer.scope(stage::kPrevalenceSweep);
     points =
         prevalence_sweep(tool, spec, kGrid, metrics, vdsim::CostModel{}, rng);
   }

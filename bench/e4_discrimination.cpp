@@ -57,7 +57,7 @@ void run(cli::ExperimentContext& ctx) {
 
   for (const double prevalence : {0.10, 0.01}) {
     const auto scope = ctx.timer.scope(
-        "grid prevalence=" + report::format_percent(prevalence));
+        stage::kGridPrevalencePrefix + report::format_percent(prevalence));
     out << "E4: P(correct tool ordering) vs quality gap, prevalence "
         << report::format_percent(prevalence) << " (" << kItems
         << "-site benchmarks, " << kTrials << " trials/point)\n\n";

@@ -20,7 +20,7 @@ void run(cli::ExperimentContext& ctx) {
   spec.prevalence = kPrevalence;
   stats::Rng wrng(kStudySeed);
   const vdsim::Workload workload = [&] {
-    const auto scope = ctx.timer.scope("generate workload");
+    const auto scope = ctx.timer.scope(stage::kGenerateWorkload);
     return generate_workload(spec, wrng);
   }();
 
@@ -34,7 +34,7 @@ void run(cli::ExperimentContext& ctx) {
 
   stats::Rng rng(kStudySeed + 1);
   const auto results = [&] {
-    const auto scope = ctx.timer.scope("benchmark tools");
+    const auto scope = ctx.timer.scope(stage::kBenchmarkTools);
     return run_benchmarks(vdsim::builtin_tools(), workload,
                           vdsim::CostModel{10.0, 1.0}, rng);
   }();

@@ -35,7 +35,7 @@ void run(cli::ExperimentContext& ctx) {
 
   stats::Rng rng(kStudySeed);
   const vdsim::AgreementMatrix agreement = [&] {
-    const auto scope = ctx.timer.scope("agreement matrix");
+    const auto scope = ctx.timer.scope(stage::kAgreementMatrix);
     return metric_agreement(metrics, spec, kPopulations, kToolsPerPopulation,
                             vdsim::CostModel{10.0, 1.0}, rng);
   }();

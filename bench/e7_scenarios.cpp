@@ -15,7 +15,7 @@ namespace {
 void run(cli::ExperimentContext& ctx) {
   std::ostream& out = ctx.out;
   const auto assessments = [&] {
-    const auto scope = ctx.timer.scope("stage 1 assessment");
+    const auto scope = ctx.timer.scope(stage::kStage1Assessment);
     return run_stage1();
   }();
   const core::MetricSelector selector;
@@ -30,7 +30,7 @@ void run(cli::ExperimentContext& ctx) {
 
   for (const core::Scenario& scenario : core::builtin_scenarios()) {
     const auto effectiveness = [&] {
-      const auto scope = ctx.timer.scope("stage 2: " + scenario.key);
+      const auto scope = ctx.timer.scope(stage::kStage2Prefix + scenario.key);
       return run_stage2(scenario);
     }();
     const core::ScenarioRecommendation rec =

@@ -14,7 +14,7 @@ namespace {
 void run(cli::ExperimentContext& ctx) {
   std::ostream& out = ctx.out;
   const auto assessments = [&] {
-    const auto scope = ctx.timer.scope("stage 1 assessment");
+    const auto scope = ctx.timer.scope(stage::kStage1Assessment);
     return run_stage1();
   }();
   core::ValidationConfig vcfg;  // 7 experts, noise 0.15, spread 0.20
@@ -31,7 +31,7 @@ void run(cli::ExperimentContext& ctx) {
 
   for (const core::Scenario& scenario : core::builtin_scenarios()) {
     const auto effectiveness = [&] {
-      const auto scope = ctx.timer.scope("stage 2 + validation");
+      const auto scope = ctx.timer.scope(stage::kStage2Validation);
       return run_stage2(scenario);
     }();
     stats::Rng rng = stats::Rng(kStudySeed + 8)

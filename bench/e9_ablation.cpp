@@ -19,12 +19,12 @@ namespace {
 void run(cli::ExperimentContext& ctx) {
   std::ostream& out = ctx.out;
   const auto assessments = [&] {
-    const auto scope = ctx.timer.scope("stage 1 assessment");
+    const auto scope = ctx.timer.scope(stage::kStage1Assessment);
     return run_stage1();
   }();
   const core::Scenario& scenario = core::builtin_scenario("s1_critical");
   const auto effectiveness = [&] {
-    const auto scope = ctx.timer.scope("stage 2: s1_critical");
+    const auto scope = ctx.timer.scope(stage::kStage2Prefix + std::string("s1_critical"));
     return run_stage2(scenario);
   }();
 
@@ -37,7 +37,7 @@ void run(cli::ExperimentContext& ctx) {
        "same-top rate", "mean panel CR"});
   report::Series tau_series{"tau", {}, {}};
   for (const double noise : noises) {
-    const auto scope = ctx.timer.scope("noise sweep");
+    const auto scope = ctx.timer.scope(stage::kNoiseSweep);
     double tau = 0.0, overlap = 0.0, same = 0.0, cr = 0.0;
     constexpr int kPanels = 10;
     for (int p = 0; p < kPanels; ++p) {
@@ -75,7 +75,7 @@ void run(cli::ExperimentContext& ctx) {
                               "same top (AHP vs TOPSIS)"});
   const core::McdaValidator validator;  // default config
   for (const core::Scenario& sc : core::builtin_scenarios()) {
-    const auto scope = ctx.timer.scope("method ablation");
+    const auto scope = ctx.timer.scope(stage::kMethodAblation);
     const auto eff = run_stage2(sc);
     stats::Rng rng = stats::Rng(kStudySeed + 10)
                          .split(std::hash<std::string>{}(sc.key));

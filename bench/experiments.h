@@ -13,6 +13,40 @@
 
 namespace vdbench::bench {
 
+/// Canonical StageTimer phase names. Every experiment records its phases
+/// under these constants (never ad-hoc literals), so the driver's stage
+/// tables, BENCH_*.json baselines, --trace-out span names and the
+/// VDBENCH_PROF summary all agree on spelling — and the golden trace test
+/// can enumerate the legal span-name set from one place. Names ending in
+/// `Prefix` are completed with a parameter at the call site.
+namespace stage {
+inline constexpr const char* kCatalogue = "catalogue";              // e1
+inline constexpr const char* kStage1Assessment = "stage 1 assessment";
+inline constexpr const char* kStage2Prefix = "stage 2: ";           // + key
+inline constexpr const char* kStage2Validation = "stage 2 + validation";
+inline constexpr const char* kPrevalenceSweep = "prevalence sweep";  // e3
+inline constexpr const char* kGridPrevalencePrefix = "grid prevalence=";
+inline constexpr const char* kGenerateWorkload = "generate workload";
+inline constexpr const char* kGenerateWorkloads = "generate workloads";
+inline constexpr const char* kBenchmarkTools = "benchmark tools";    // e5
+inline constexpr const char* kBenchmarkAggregate = "benchmark + aggregate";
+inline constexpr const char* kAgreementMatrix = "agreement matrix";  // e6
+inline constexpr const char* kNoiseSweep = "noise sweep";            // e9
+inline constexpr const char* kMethodAblation = "method ablation";    // e9
+inline constexpr const char* kMicrobenchmarks = "microbenchmarks";   // e10
+inline constexpr const char* kRocSweep = "ROC sweep";                // e11
+inline constexpr const char* kSuiteCampaign = "suite campaign";      // e13
+inline constexpr const char* kWeightSensitivity = "weight sensitivity";
+inline constexpr const char* kPresetSummary = "preset summary";      // e14
+inline constexpr const char* kPerClassDetail = "per-class detail";   // e14
+inline constexpr const char* kPairAnalysisPrefix = "pair analysis gamma=";
+inline constexpr const char* kPowerGridPrefix = "power grid R=";     // e16
+inline constexpr const char* kRender = "render";                     // e16
+inline constexpr const char* kBaseCorpusCohort = "base corpus cohort";
+inline constexpr const char* kLowPrevalenceCohort = "low-prevalence cohort";
+inline constexpr const char* kChecksum = "checksum";                 // probe
+}  // namespace stage
+
 void register_e1(cli::ExperimentRegistry& registry);
 void register_e2(cli::ExperimentRegistry& registry);
 void register_e3(cli::ExperimentRegistry& registry);

@@ -11,7 +11,7 @@ void register_probe(cli::ExperimentRegistry& registry) {
       {"probe", "256-task parallel checksum (fault-drill target)",
        "probe{tasks=256}", /*cacheable=*/false,
        [](cli::ExperimentContext& ctx) {
-         const auto scope = ctx.timer.scope("checksum");
+         const auto scope = ctx.timer.scope(stage::kChecksum);
          constexpr std::size_t kTasks = 256;
          std::vector<std::uint64_t> slots(kTasks, 0);
          stats::parallel_for_indexed(kTasks, [&slots](std::size_t i) {

@@ -10,6 +10,8 @@
 
 #include "cache/hash.h"
 #include "fault/injector.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "stats/env.h"
 
 namespace vdbench::cache {
@@ -94,6 +96,7 @@ bool write_file_atomic(const std::filesystem::path& path,
     std::filesystem::remove(tmp, ec);
     return false;
   }
+  obs::count(obs::Counter::kBytesWritten, content.size());
   return true;
 }
 
@@ -127,6 +130,7 @@ ResultCache::ResultCache(Config config) : config_(std::move(config)) {
 
 std::optional<std::string> ResultCache::fetch(const CacheKey& key,
                                               std::uint64_t now) {
+  const obs::Span span("cache.fetch", key.experiment_id);
   // Fault hook `cache.read` (key = experiment id): io_error behaves like an
   // unreadable file (plain miss, entry left intact); corrupt/truncate mangle
   // the bytes in flight so the checksum/validation recovery path runs for
@@ -140,6 +144,7 @@ std::optional<std::string> ResultCache::fetch(const CacheKey& key,
                                key.experiment_id);
   if (injected == fault::Action::kIoError) {
     ++stats_.misses;
+    obs::count(obs::Counter::kCacheMisses);
     return std::nullopt;
   }
   const std::uint64_t digest = key.digest();
@@ -155,15 +160,21 @@ std::optional<std::string> ResultCache::fetch(const CacheKey& key,
     // No file: drop any stale index row and report a plain miss.
     if (find_entry(digest) != nullptr) erase_entry(digest, false);
     ++stats_.misses;
+    obs::count(obs::Counter::kCacheMisses);
+    sync_gauges();
     return std::nullopt;
   }
   const std::optional<ParsedEntry> entry = parse_entry(*raw);
   if (!entry || entry->digest != digest) {
     ++stats_.corrupt_entries;
     ++stats_.misses;
+    obs::count(obs::Counter::kCacheCorruptions);
+    obs::count(obs::Counter::kCacheMisses);
+    obs::instant("cache.corrupt", key.experiment_id);
     erase_entry(digest, false);
     std::error_code ec;
     std::filesystem::remove(path, ec);
+    sync_gauges();
     return std::nullopt;
   }
   Entry* indexed = find_entry(digest);
@@ -177,11 +188,14 @@ std::optional<std::string> ResultCache::fetch(const CacheKey& key,
   }
   save_index();
   ++stats_.hits;
+  obs::count(obs::Counter::kCacheHits);
+  sync_gauges();
   return entry->payload;
 }
 
 bool ResultCache::store(const CacheKey& key, std::string_view payload,
                         std::uint64_t now) {
+  const obs::Span span("cache.store", key.experiment_id);
   // Fault hook `cache.write` (key = experiment id): io_error simulates
   // ENOSPC (a failed store — the atomic discipline guarantees no partial
   // file either way); corrupt/truncate persist a damaged entry so the next
@@ -211,8 +225,12 @@ bool ResultCache::store(const CacheKey& key, std::string_view payload,
     total_bytes_ += payload.size();
   }
   ++stats_.stores;
+  obs::count(obs::Counter::kCacheStores);
+  obs::Registry::global().record(obs::Histogram::kPayloadBytes,
+                                 payload.size());
   evict_to_cap();
   save_index();
+  sync_gauges();
   return true;
 }
 
@@ -260,7 +278,17 @@ void ResultCache::erase_entry(std::uint64_t digest, bool count_eviction) {
   entries_.erase(it);
   std::error_code ec;
   std::filesystem::remove(entry_path(digest), ec);
-  if (count_eviction) ++stats_.evictions;
+  if (count_eviction) {
+    ++stats_.evictions;
+    obs::count(obs::Counter::kCacheEvictions);
+  }
+}
+
+void ResultCache::sync_gauges() const {
+  obs::Registry& reg = obs::Registry::global();
+  reg.set(obs::Gauge::kCacheEntries,
+          static_cast<std::uint64_t>(entries_.size()));
+  reg.set(obs::Gauge::kCacheBytes, total_bytes_);
 }
 
 void ResultCache::evict_to_cap() {

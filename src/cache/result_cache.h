@@ -136,6 +136,8 @@ class ResultCache {
   void evict_to_cap();
   void load_index();
   void save_index() const;
+  /// Mirror entry count / total bytes into the obs gauge registry.
+  void sync_gauges() const;
 
   Config config_;
   std::vector<Entry> entries_;

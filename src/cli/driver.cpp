@@ -1,5 +1,8 @@
 #include "cli/driver.h"
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <exception>
@@ -11,6 +14,9 @@
 #include <thread>
 
 #include "fault/injector.h"
+#include "obs/profile.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "report/json.h"
 #include "report/json_reader.h"
 #include "report/table.h"
@@ -57,6 +63,9 @@ options:
                        carry into the new manifest
   --json-out PATH      write the combined JSON export; a degraded run still
                        exports (successes + per-experiment error records)
+  --trace-out PATH     record the whole run as a Chrome trace-event JSON
+                       file (open at chrome://tracing or ui.perfetto.dev);
+                       tracing off costs one relaxed atomic load per span
   --manifest PATH      run manifest location, rewritten atomically after
                        every experiment (default: vdbench_manifest.json;
                        empty string disables)
@@ -73,6 +82,7 @@ exit codes: 0 ok | 3 partial (some experiments failed, study usable) |
 
 environment: VDBENCH_FAULTS arms the deterministic fault injector, e.g.
 "cache.write=io_error@3;experiment.body=throw@e13:1" (see README).
+VDBENCH_PROF=1 prints a per-span p50/p95/max duration table on exit.
 )";
 
 constexpr std::uint64_t kBackoffCapMs = 5000;
@@ -175,8 +185,10 @@ bool write_manifest(const std::string& path, const RunOutcome& run,
                     const DriverOptions& options,
                     const std::filesystem::path& cache_dir,
                     const cache::CacheStats& cache_stats,
+                    const obs::CounterSnapshot& telemetry_baseline,
                     std::uint64_t generated_at, std::size_t threads,
                     std::size_t selected, bool complete) {
+  const obs::Span span("driver.manifest");
   if (fault::Injector::global().hit("manifest.write") !=
       fault::Action::kNone)
     return false;
@@ -250,17 +262,44 @@ bool write_manifest(const std::string& path, const RunOutcome& run,
              static_cast<std::uint64_t>(cache_stats.corrupt_entries));
   json.end_object();
   json.end_object();
+  // Full runtime telemetry lives here — the manifest is diagnostic and is
+  // never byte-compared between runs, so run-variant values (hits vs
+  // misses, retries, trace events) are safe to record. The byte-identical
+  // --json-out export instead derives its telemetry from exported content.
+  const obs::Registry& registry = obs::Registry::global();
+  const obs::CounterSnapshot delta =
+      registry.snapshot().since(telemetry_baseline);
+  json.key("telemetry").begin_object();
+  json.key("counters").begin_object();
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const auto counter = static_cast<obs::Counter>(i);
+    json.field(obs::counter_name(counter), delta[counter]);
+  }
   json.end_object();
-  return cache::write_file_atomic(path, json.str() + "\n");
+  json.key("gauges").begin_object();
+  for (std::size_t i = 0; i < obs::kGaugeCount; ++i) {
+    const auto gauge = static_cast<obs::Gauge>(i);
+    json.field(obs::gauge_name(gauge), registry.value(gauge));
+  }
+  json.end_object();
+  json.end_object();
+  json.end_object();
+  const bool ok = cache::write_file_atomic(path, json.str() + "\n");
+  if (ok) obs::count(obs::Counter::kManifestWrites);
+  return ok;
 }
 
 // The export stays byte-identical between a clean run and a recovered
-// (retried / resumed) run: payloads are pure functions of the study inputs
-// and the errors array is empty whenever every experiment succeeded.
+// (retried / resumed / warm-cache) run: payloads are pure functions of the
+// study inputs and the errors array is empty whenever every experiment
+// succeeded. The `telemetry` block keeps that property by deriving every
+// value from the exported content itself — never from runtime counters,
+// which legitimately differ between a cold and a warm run.
 bool write_json_export(const std::string& path,
                        const std::vector<std::string>& payloads,
                        const std::vector<const ExperimentOutcome*>& failures,
                        std::uint64_t study_seed) {
+  const obs::Span span("driver.export");
   report::JsonWriter json;
   json.begin_object();
   json.field("schema", static_cast<std::uint64_t>(kEngineSchemaVersion));
@@ -277,6 +316,29 @@ bool write_json_export(const std::string& path,
     json.end_object();
   }
   json.end_array();
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t artifact_count = 0;
+  std::array<std::uint64_t, 65> size_log2{};
+  std::size_t top_bucket = 0;
+  for (const std::string& payload : payloads) {
+    payload_bytes += payload.size();
+    const std::size_t bucket =
+        static_cast<std::size_t>(std::bit_width(payload.size()));
+    ++size_log2[bucket];
+    top_bucket = std::max(top_bucket, bucket);
+    if (const std::optional<DecodedPayload> decoded = decode_payload(payload))
+      artifact_count += decoded->artifacts.size();
+  }
+  json.key("telemetry").begin_object();
+  json.field("experiments", static_cast<std::uint64_t>(payloads.size()));
+  json.field("failures", static_cast<std::uint64_t>(failures.size()));
+  json.field("payload_bytes", payload_bytes);
+  json.field("artifacts", artifact_count);
+  json.key("payload_size_log2").begin_array();
+  for (std::size_t b = 0; b <= top_bucket; ++b)
+    json.value(size_log2[b]);
+  json.end_array();
+  json.end_object();
   json.end_object();
   return cache::write_file_atomic(path, json.str() + "\n");
 }
@@ -564,6 +626,9 @@ std::optional<DriverOptions> parse_args(int argc, const char* const* argv,
     } else if (flag_matches(arg, "--json-out")) {
       if (!take_value(i, "--json-out", value)) return std::nullopt;
       options.json_out = value;
+    } else if (flag_matches(arg, "--trace-out")) {
+      if (!take_value(i, "--trace-out", value)) return std::nullopt;
+      options.trace_out = value;
     } else if (flag_matches(arg, "--manifest")) {
       if (!take_value(i, "--manifest", value)) return std::nullopt;
       options.manifest_path = value;
@@ -675,14 +740,24 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
     return run;
   }
 
+  // Observability setup: arm the tracer only when asked (disarmed span
+  // sites cost one relaxed atomic load), and snapshot the counter registry
+  // so the manifest can report this run's telemetry as a delta even when
+  // run_driver is called repeatedly in one process (tests, --resume).
+  if (!options.trace_out.empty()) obs::Tracer::global().start();
+  const obs::CounterSnapshot telemetry_baseline =
+      obs::Registry::global().snapshot();
+
   std::vector<std::pair<std::string, PriorRecord>> prior_records;
   if (!options.resume_path.empty()) {
+    const obs::Span resume_span("driver.resume", options.resume_path);
     std::optional<std::vector<std::pair<std::string, PriorRecord>>> loaded =
         load_resume_manifest(options.resume_path);
     if (!loaded) {
       out << "vdbench: cannot resume from '" << options.resume_path
           << "': missing or not a run manifest\n";
       run.exit_code = kExitUsage;
+      if (!options.trace_out.empty()) obs::Tracer::global().stop();
       return run;
     }
     prior_records = std::move(*loaded);
@@ -702,6 +777,8 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
 
   if (options.threads > 0) stats::set_global_threads(options.threads);
   const std::size_t threads = stats::global_executor().thread_count();
+  obs::Registry::global().set(obs::Gauge::kThreads,
+                              static_cast<std::uint64_t>(threads));
 
   const std::function<std::uint64_t()> clock =
       options.clock ? options.clock : []() {
@@ -737,6 +814,7 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
   bool aborted_fail_fast = false;
 
   for (const Experiment* experiment : selected) {
+    const obs::Span experiment_span("driver.experiment", experiment->id);
     const cache::CacheKey key{experiment->id, experiment->config,
                               options.study_seed, kEngineSchemaVersion};
     ExperimentOutcome outcome;
@@ -784,6 +862,7 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
         write_artifacts(replay->artifacts, options.artifact_dir, out);
       }
       ++run.hits;
+      obs::count(obs::Counter::kExperimentsReplayed);
     } else {
       // Compute under the supervisor: up to 1 + retries attempts, each a
       // fresh context (same seed ⇒ byte-identical result), each optionally
@@ -792,6 +871,7 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
       for (std::size_t attempt_no = 0; attempt_no <= options.retries;
            ++attempt_no) {
         if (attempt_no > 0) {
+          obs::count(obs::Counter::kRetries);
           const std::uint64_t delay =
               backoff_delay_ms(options.retry_backoff_ms, attempt_no);
           if (delay > 0)
@@ -799,8 +879,11 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
         }
         stats::StageTimer attempt_timer;
         const auto attempt_start = std::chrono::steady_clock::now();
-        attempt = execute_attempt(*experiment, options.timeout_sec,
-                                  attempt_timer);
+        {
+          const obs::Span attempt_span("driver.attempt", experiment->id);
+          attempt = execute_attempt(*experiment, options.timeout_sec,
+                                    attempt_timer);
+        }
         const double attempt_seconds = seconds_between(
             attempt_start, std::chrono::steady_clock::now());
         outcome.attempts.push_back({attempt.ok ? "ok" : attempt.error_class,
@@ -820,7 +903,9 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
             << " attempt(s) [" << outcome.error_class
             << "]: " << outcome.error << "\n";
         ++run.failed;
+        obs::count(obs::Counter::kExperimentsFailed);
       } else {
+        obs::count(obs::Counter::kExperimentsComputed);
         payload = build_payload(*experiment, options.study_seed,
                                 attempt.text, attempt.artifacts);
         if (!options.quiet) out << attempt.text;
@@ -873,7 +958,8 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
       if (!write_manifest(
               options.manifest_path, run, options, cache_dir,
               result_cache ? result_cache->stats() : cache::CacheStats{},
-              clock(), threads, selected.size(), /*complete=*/false))
+              telemetry_baseline, clock(), threads, selected.size(),
+              /*complete=*/false))
         out << "warning: could not write run manifest\n";
     }
 
@@ -944,10 +1030,24 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
     if (write_manifest(
             options.manifest_path, run, options, cache_dir,
             result_cache ? result_cache->stats() : cache::CacheStats{},
-            clock(), threads, selected.size(), /*complete=*/true))
+            telemetry_baseline, clock(), threads, selected.size(),
+            /*complete=*/true))
       out << "wrote run manifest to " << options.manifest_path << "\n";
     else
       out << "warning: could not write run manifest\n";
+  }
+
+  // Render the trace last, when the fork-join loops are quiescent and the
+  // per-thread buffers are safe to merge.
+  if (!options.trace_out.empty()) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.stop();
+    if (cache::write_file_atomic(options.trace_out, tracer.render_json()))
+      out << "wrote trace (" << tracer.event_count() << " events) to "
+          << options.trace_out << "\n";
+    else
+      out << "warning: could not write trace to " << options.trace_out
+          << "\n";
   }
   return run;
 }
@@ -962,12 +1062,16 @@ int vdbench_main(int argc, const char* const* argv,
     std::cerr << "vdbench: " << e.what() << "\n";
     return kExitUsage;
   }
+  if (obs::Profiler::global().arm_from_env())
+    std::cerr << "vdbench: profiler armed from VDBENCH_PROF\n";
   bool help_shown = false;
   std::optional<DriverOptions> options =
       parse_args(argc, argv, std::cerr, &help_shown);
   if (!options) return help_shown ? kExitOk : kExitUsage;
   options->study_seed = study_seed;
-  return run_driver(registry, *options, std::cout).exit_code;
+  const int exit_code = run_driver(registry, *options, std::cout).exit_code;
+  if (obs::Profiler::global().armed()) obs::Profiler::global().print(std::cerr);
+  return exit_code;
 }
 
 }  // namespace vdbench::cli

@@ -56,6 +56,9 @@ struct DriverOptions {
   bool quiet = false;       ///< suppress experiment report text
   bool list_only = false;   ///< --list: print the registry and exit
   std::string json_out;     ///< combined JSON export path (empty = none)
+  /// Chrome/Perfetto trace-event JSON output path; empty disables tracing
+  /// entirely (a disarmed span site costs one relaxed atomic load).
+  std::string trace_out;
   std::string manifest_path = "vdbench_manifest.json";  ///< empty = none
   std::string artifact_dir;  ///< where experiment artifacts land ("" = cwd)
   /// Fail the run (exit 1) when the cacheable hit rate lands below this;

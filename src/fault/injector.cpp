@@ -5,6 +5,9 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace vdbench::fault {
 
 namespace {
@@ -148,6 +151,15 @@ Action Injector::hit(std::string_view point, std::string_view key) {
       total_fired_.fetch_add(1, std::memory_order_relaxed);
       result = rule.action;
     }
+  }
+  if (result != Action::kNone) {
+    // Every firing is observable: the run manifest's telemetry counts it
+    // and a trace shows exactly where inside the study the fault landed.
+    obs::count(obs::Counter::kFaultFires);
+    obs::instant("fault.fire", std::string(point) + "=" +
+                                   std::string(action_name(result)) +
+                                   (key.empty() ? std::string()
+                                                : "@" + std::string(key)));
   }
   return result;
 }

@@ -1,0 +1,115 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace vdbench::obs {
+
+namespace {
+
+// Percentile reservoir cap per span name; aggregates keep counting beyond.
+constexpr std::size_t kMaxSamples = 1 << 16;
+
+// Nearest-rank percentile of an unsorted sample copy.
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = q * static_cast<double>(xs.size());
+  std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (rank > static_cast<double>(index + 1)) ++index;
+  if (index >= xs.size()) index = xs.size() - 1;
+  return xs[index];
+}
+
+std::string format_us(double micros) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", micros);
+  return buffer;
+}
+
+}  // namespace
+
+void Profiler::arm() noexcept {
+  detail::g_span_mask.fetch_or(detail::kMaskProfile,
+                               std::memory_order_relaxed);
+}
+
+void Profiler::disarm() noexcept {
+  detail::g_span_mask.fetch_and(~detail::kMaskProfile,
+                                std::memory_order_relaxed);
+}
+
+bool Profiler::armed() const noexcept {
+  return (detail::span_mask() & detail::kMaskProfile) != 0;
+}
+
+bool Profiler::arm_from_env() {
+  const char* value = std::getenv("VDBENCH_PROF");
+  if (value == nullptr || *value == '\0' || std::strcmp(value, "0") == 0)
+    return armed();
+  arm();
+  return true;
+}
+
+void Profiler::record(std::string_view name, double micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  Series& series =
+      it != series_.end() ? it->second : series_[std::string(name)];
+  if (series.samples.size() < kMaxSamples) series.samples.push_back(micros);
+  ++series.count;
+  series.total_us += micros;
+  if (micros > series.max_us) series.max_us = micros;
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_.clear();
+}
+
+std::vector<Profiler::Summary> Profiler::summaries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Summary> out;
+  out.reserve(series_.size());
+  for (const auto& [name, series] : series_) {
+    Summary summary;
+    summary.name = name;
+    summary.count = series.count;
+    summary.p50_us = percentile(series.samples, 0.50);
+    summary.p95_us = percentile(series.samples, 0.95);
+    summary.max_us = series.max_us;
+    summary.total_us = series.total_us;
+    out.push_back(std::move(summary));
+  }
+  return out;  // std::map iteration order == sorted by name
+}
+
+void Profiler::print(std::ostream& os) const {
+  const std::vector<Summary> rows = summaries();
+  os << "VDBENCH_PROF span summary (" << rows.size() << " span name(s)):\n";
+  os << "  span                                count      p50_us      p95_us"
+        "      max_us    total_ms\n";
+  for (const Summary& row : rows) {
+    std::string name = row.name;
+    if (name.size() < 34) name.resize(34, ' ');
+    os << "  " << name << ' ';
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer), "%6zu %11s %11s %11s %11s",
+                  row.count, format_us(row.p50_us).c_str(),
+                  format_us(row.p95_us).c_str(),
+                  format_us(row.max_us).c_str(),
+                  format_us(row.total_us / 1000.0).c_str());
+    os << buffer << "\n";
+  }
+}
+
+Profiler& Profiler::global() {
+  static Profiler profiler;
+  return profiler;
+}
+
+}  // namespace vdbench::obs

@@ -1,0 +1,75 @@
+// Sampling profiler hook for span sites: per-span duration summaries so
+// future performance PRs have a measured baseline to target.
+//
+// Armed by the VDBENCH_PROF environment variable (any value except "0");
+// while armed, every completed obs::Span reports its wall-clock duration
+// here and the vdbench binary prints a per-span p50/p95/max table on exit.
+// When disarmed the cost is folded into the span sites' single relaxed
+// atomic load — there is no separate profiling check. Sample storage is
+// capped per span name so an armed long run cannot grow without bound
+// (count/total/max keep aggregating past the cap; only the percentile
+// reservoir stops).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdbench::obs {
+
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Start collecting span durations (sets the profile bit span sites
+  /// check). Collected samples persist until clear().
+  void arm() noexcept;
+  void disarm() noexcept;
+  [[nodiscard]] bool armed() const noexcept;
+
+  /// Arm when VDBENCH_PROF is set to anything but "0". Returns whether the
+  /// profiler ended up armed.
+  bool arm_from_env();
+
+  /// Record one completed span. Thread-safe; called by Span's destructor
+  /// only while armed.
+  void record(std::string_view name, double micros);
+
+  void clear();
+
+  struct Summary {
+    std::string name;
+    std::size_t count = 0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double max_us = 0.0;
+    double total_us = 0.0;
+  };
+
+  /// Per-span summaries sorted by name (deterministic output order).
+  [[nodiscard]] std::vector<Summary> summaries() const;
+
+  /// Render the summary table ("span  count  p50  p95  max  total").
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] static Profiler& global();
+
+ private:
+  struct Series {
+    std::vector<double> samples;  ///< capped reservoir for percentiles
+    std::size_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Series, std::less<>> series_;
+};
+
+}  // namespace vdbench::obs

@@ -1,0 +1,85 @@
+#include "obs/registry.h"
+
+#include <bit>
+
+namespace vdbench::obs {
+
+std::string_view counter_name(Counter counter) noexcept {
+  switch (counter) {
+    case Counter::kCacheHits: return "cache.hits";
+    case Counter::kCacheMisses: return "cache.misses";
+    case Counter::kCacheCorruptions: return "cache.corruptions";
+    case Counter::kCacheStores: return "cache.stores";
+    case Counter::kCacheEvictions: return "cache.evictions";
+    case Counter::kBytesWritten: return "bytes.written";
+    case Counter::kTasksExecuted: return "tasks.executed";
+    case Counter::kTasksCancelled: return "tasks.cancelled";
+    case Counter::kExperimentsComputed: return "experiments.computed";
+    case Counter::kExperimentsReplayed: return "experiments.replayed";
+    case Counter::kExperimentsFailed: return "experiments.failed";
+    case Counter::kRetries: return "retries";
+    case Counter::kFaultFires: return "fault.fires";
+    case Counter::kManifestWrites: return "manifest.writes";
+    case Counter::kTraceEvents: return "trace.events";
+  }
+  return "unknown";
+}
+
+std::string_view gauge_name(Gauge gauge) noexcept {
+  switch (gauge) {
+    case Gauge::kThreads: return "threads";
+    case Gauge::kCacheEntries: return "cache.entries";
+    case Gauge::kCacheBytes: return "cache.bytes";
+  }
+  return "unknown";
+}
+
+std::string_view histogram_name(Histogram histogram) noexcept {
+  switch (histogram) {
+    case Histogram::kPayloadBytes: return "payload.bytes";
+    case Histogram::kTaskBatch: return "task.batch";
+  }
+  return "unknown";
+}
+
+CounterSnapshot CounterSnapshot::since(const CounterSnapshot& earlier) const
+    noexcept {
+  CounterSnapshot delta;
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    delta.values[i] = values[i] - earlier.values[i];
+  return delta;
+}
+
+void Registry::record(Histogram histogram, std::uint64_t v) noexcept {
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(v));
+  histograms_[static_cast<std::size_t>(histogram)][b].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::bucket(Histogram histogram,
+                               std::size_t b) const noexcept {
+  if (b >= kHistogramBuckets) return 0;
+  return histograms_[static_cast<std::size_t>(histogram)][b].load(
+      std::memory_order_relaxed);
+}
+
+CounterSnapshot Registry::snapshot() const noexcept {
+  CounterSnapshot snap;
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    snap.values[i] = counters_[i].load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Registry::reset() noexcept {
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  for (auto& h : histograms_)
+    for (auto& b : h) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace vdbench::obs

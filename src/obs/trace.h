@@ -1,0 +1,110 @@
+// RAII trace spans for the vdbench harness, emitted as Chrome
+// `chrome://tracing` / Perfetto-compatible trace-event JSON.
+//
+// Every seam of the study runner is bracketed by an obs::Span — driver
+// supervise/attempt/replay, executor tasks, cache lookups and stores,
+// fault firings, and (through stats::StageTimer) every experiment phase —
+// so one flame view shows where a whole study spent its time. The layer
+// obeys one hard budget: when neither tracing nor profiling is armed, a
+// span site costs exactly one relaxed atomic load (the same fast-path
+// discipline the fault injector uses) and performs no allocation; the
+// `trace.events` counter stays at zero, which the test suite asserts.
+//
+// Events are buffered per thread (a thread_local log registered with the
+// process-wide tracer) so recording never takes a lock; buffers are merged
+// and rendered after the run, when the parallel engine is quiescent. The
+// JSON is the trace-event array format: paired "B"/"E" duration events per
+// thread plus "i" instants, timestamps in microseconds since trace start.
+// Load the file at chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vdbench::obs {
+
+namespace detail {
+
+/// Bitmask of armed span consumers, checked by every span site.
+inline constexpr unsigned kMaskTrace = 1U;
+inline constexpr unsigned kMaskProfile = 2U;
+
+/// The one word a disarmed span site reads. Set by Tracer::start/stop and
+/// Profiler::arm/disarm; relaxed is enough because arming happens before
+/// the run being observed and the data it gates is per-thread.
+inline std::atomic<unsigned> g_span_mask{0};
+
+[[nodiscard]] inline unsigned span_mask() noexcept {
+  return g_span_mask.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+/// RAII duration span. Inactive (default) spans are inert value objects;
+/// active ones record a "B" event at construction and an "E" event at
+/// destruction into the current thread's buffer, and/or report their
+/// duration to the profiler.
+class Span {
+ public:
+  Span() noexcept = default;
+  /// `name` must come from the documented span-name set (see README
+  /// "Observability"); `detail` is an optional free-form argument rendered
+  /// into the event's args (experiment id, task index).
+  explicit Span(std::string_view name, std::string_view detail = {}) {
+    const unsigned mask = detail::span_mask();
+    if (mask != 0) begin(name, detail, mask);
+  }
+  Span(Span&& other) noexcept
+      : mask_(other.mask_), start_ns_(other.start_ns_),
+        name_(std::move(other.name_)) {
+    other.mask_ = 0;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span& operator=(Span&&) = delete;
+  ~Span() {
+    if (mask_ != 0) end();
+  }
+
+ private:
+  void begin(std::string_view name, std::string_view detail, unsigned mask);
+  void end();
+
+  unsigned mask_ = 0;
+  std::int64_t start_ns_ = 0;
+  std::string name_;
+};
+
+/// Record an "i" (instant) event — a point-in-time marker such as a fault
+/// firing or a cache-corruption detection. No-op when tracing is off.
+void instant(std::string_view name, std::string_view detail = {});
+
+/// Process-wide collector of span events.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Drop any previously collected events and start recording.
+  void start();
+  /// Stop recording (collected events remain available to render_json).
+  void stop();
+  [[nodiscard]] bool active() const noexcept {
+    return (detail::span_mask() & detail::kMaskTrace) != 0;
+  }
+
+  /// Events collected since start(), across all threads.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Render the collected events as a Chrome trace-event JSON document.
+  /// Call only while the instrumented computation is quiescent (the driver
+  /// renders after its fork-join loops complete).
+  [[nodiscard]] std::string render_json() const;
+
+  [[nodiscard]] static Tracer& global();
+};
+
+}  // namespace vdbench::obs

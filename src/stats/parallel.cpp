@@ -1,6 +1,8 @@
 #include "stats/parallel.h"
 
 #include "fault/injector.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "stats/env.h"
 
 #include <atomic>
@@ -44,8 +46,12 @@ void injected_stall() {
 
 // Every task funnels through here so the fault hook and its key discipline
 // (decimal task index, making schedules thread-count independent) exist in
-// exactly one place. Zero-cost when the injector is disarmed.
+// exactly one place, and so every task shows up as one "executor.task"
+// span in a trace. Zero-cost when the injector is disarmed; one relaxed
+// atomic load (the span site) plus one relaxed fetch_add (the
+// tasks.executed counter) when observability is disarmed.
 void run_task(const std::function<void(std::size_t)>& fn, std::size_t i) {
+  const obs::Span span("executor.task");
   fault::Injector& injector = fault::Injector::global();
   if (injector.armed()) {
     switch (injector.hit("executor.task", std::to_string(i))) {
@@ -61,6 +67,7 @@ void run_task(const std::function<void(std::size_t)>& fn, std::size_t i) {
     }
   }
   fn(i);
+  obs::count(obs::Counter::kTasksExecuted);
 }
 
 }  // namespace
@@ -108,7 +115,11 @@ struct ParallelExecutor::Impl {
     tl_inside_task = true;
     for (std::size_t i = next_index.fetch_add(1); i < n;
          i = next_index.fetch_add(1)) {
-      if (cancellation_requested()) break;
+      if (cancellation_requested()) {
+        obs::count(obs::Counter::kTasksCancelled);
+        obs::instant("executor.cancel");
+        break;
+      }
       try {
         run_task(*fn, i);
       } catch (...) {
@@ -167,6 +178,8 @@ std::size_t ParallelExecutor::thread_count() const noexcept {
 void ParallelExecutor::parallel_for_indexed(
     std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  obs::Registry::global().record(obs::Histogram::kTaskBatch,
+                                 static_cast<std::uint64_t>(n));
 
   // Serial fallback: single-thread pool, tiny range, or a nested call from
   // inside a task (the fixed pool must not wait on itself). Runs the exact
@@ -178,7 +191,11 @@ void ParallelExecutor::parallel_for_indexed(
     const bool was_inside = tl_inside_task;
     tl_inside_task = true;
     for (std::size_t i = 0; i < n; ++i) {
-      if (cancellation_requested()) break;
+      if (cancellation_requested()) {
+        obs::count(obs::Counter::kTasksCancelled);
+        obs::instant("executor.cancel");
+        break;
+      }
       try {
         run_task(fn, i);
       } catch (...) {

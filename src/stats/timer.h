@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace vdbench::stats {
 
 /// Accumulates named wall-clock stages in first-recorded order.
@@ -25,12 +27,15 @@ class StageTimer {
   };
 
   /// RAII scope: measures from construction to destruction and adds the
-  /// elapsed wall-clock time to the owning timer under its label.
+  /// elapsed wall-clock time to the owning timer under its label. Each
+  /// scope doubles as an obs::Span named after the label, so every
+  /// experiment phase appears in a --trace-out flame view and in the
+  /// VDBENCH_PROF summary without per-experiment instrumentation.
   class Scope {
    public:
     Scope(Scope&& other) noexcept
         : timer_(other.timer_), label_(std::move(other.label_)),
-          start_(other.start_) {
+          span_(std::move(other.span_)), start_(other.start_) {
       other.timer_ = nullptr;
     }
     Scope(const Scope&) = delete;
@@ -43,11 +48,12 @@ class StageTimer {
    private:
     friend class StageTimer;
     Scope(StageTimer* timer, std::string label)
-        : timer_(timer), label_(std::move(label)),
+        : timer_(timer), label_(std::move(label)), span_(label_),
           start_(std::chrono::steady_clock::now()) {}
 
     StageTimer* timer_;
     std::string label_;
+    obs::Span span_;
     std::chrono::steady_clock::time_point start_;
   };
 

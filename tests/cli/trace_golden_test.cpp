@@ -1,0 +1,237 @@
+// Golden-file test for --trace-out: runs a real registry experiment
+// through the driver, then validates the emitted Chrome/Perfetto trace —
+// schema (ph/ts/pid/tid on every event), balanced B/E pairs per thread,
+// and every span name drawn from the documented set (driver seams,
+// executor tasks, cache operations, and the stage:: phase constants in
+// bench/experiments.h). Also pins the manifest telemetry block's counter
+// inventory and the warm/cold byte-identity of --json-out with telemetry
+// present.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/driver.h"
+#include "cli/experiment.h"
+#include "experiments.h"
+#include "obs/registry.h"
+#include "report/json_reader.h"
+
+namespace vdbench::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vdtrace_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  DriverOptions base_options() {
+    DriverOptions options;
+    options.cache_dir = (dir_ / "cache").string();
+    options.manifest_path = (dir_ / "manifest.json").string();
+    options.artifact_dir = dir_.string();
+    options.threads = 1;
+    options.study_seed = 7;
+    options.quiet = true;
+    options.clock = [this] { return ++tick_; };
+    return options;
+  }
+
+  static std::string slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), {}};
+  }
+
+  fs::path dir_;
+  std::uint64_t tick_ = 0;
+};
+
+// Fixed span names the instrumentation emits, plus the stage:: constants;
+// prefixes cover the parameterised phase labels ("stage 2: s1_default").
+bool is_documented_name(const std::string& name) {
+  static const std::set<std::string> kExact = {
+      "driver.experiment", "driver.attempt", "driver.manifest",
+      "driver.export", "driver.resume", "executor.task", "executor.cancel",
+      "cache.fetch", "cache.store", "cache.corrupt", "cache replay",
+      "cache store", "fault.fire", "study.stage1", "study.stage2",
+      bench::stage::kCatalogue, bench::stage::kStage1Assessment,
+      bench::stage::kStage2Validation, bench::stage::kPrevalenceSweep,
+      bench::stage::kGenerateWorkload, bench::stage::kGenerateWorkloads,
+      bench::stage::kBenchmarkTools, bench::stage::kBenchmarkAggregate,
+      bench::stage::kAgreementMatrix, bench::stage::kNoiseSweep,
+      bench::stage::kMethodAblation, bench::stage::kMicrobenchmarks,
+      bench::stage::kRocSweep, bench::stage::kSuiteCampaign,
+      bench::stage::kWeightSensitivity, bench::stage::kPresetSummary,
+      bench::stage::kPerClassDetail, bench::stage::kRender,
+      bench::stage::kBaseCorpusCohort, bench::stage::kLowPrevalenceCohort,
+      bench::stage::kChecksum};
+  if (kExact.count(name) != 0) return true;
+  static const std::vector<std::string> kPrefixes = {
+      bench::stage::kStage2Prefix, bench::stage::kGridPrevalencePrefix,
+      bench::stage::kPairAnalysisPrefix, bench::stage::kPowerGridPrefix};
+  for (const std::string& prefix : kPrefixes)
+    if (name.compare(0, prefix.size(), prefix) == 0) return true;
+  return false;
+}
+
+TEST_F(TraceGoldenTest, ProbeRunEmitsValidBalancedDocumentedTrace) {
+  const ExperimentRegistry registry = bench::study_registry();
+  DriverOptions options = base_options();
+  options.experiments = "probe";
+  options.trace_out = (dir_ / "trace.json").string();
+  std::ostringstream out;
+  const RunOutcome outcome = run_driver(registry, options, out);
+  EXPECT_EQ(outcome.exit_code, kExitOk) << out.str();
+
+  const std::string text = slurp(dir_ / "trace.json");
+  ASSERT_FALSE(text.empty());
+  const std::optional<report::JsonValue> doc = report::parse_json(text);
+  ASSERT_TRUE(doc.has_value()) << "trace is not valid JSON";
+  ASSERT_TRUE(doc->is_object());
+  const report::JsonValue* events = doc->member("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const std::vector<report::JsonValue>* array = events->as_array();
+  ASSERT_NE(array, nullptr);
+  ASSERT_FALSE(array->empty());
+
+  std::map<double, int> depth_by_tid;
+  std::set<std::string> names;
+  for (const report::JsonValue& event : *array) {
+    const report::JsonValue* name = event.member("name");
+    const report::JsonValue* ph = event.member("ph");
+    const report::JsonValue* ts = event.member("ts");
+    const report::JsonValue* pid = event.member("pid");
+    const report::JsonValue* tid = event.member("tid");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(pid, nullptr);
+    ASSERT_NE(tid, nullptr);
+    ASSERT_NE(name->as_string(), nullptr);
+    ASSERT_NE(ph->as_string(), nullptr);
+    ASSERT_TRUE(ts->as_number().has_value());
+    ASSERT_TRUE(pid->as_number().has_value());
+    ASSERT_TRUE(tid->as_number().has_value());
+    EXPECT_FALSE(name->as_string()->empty());
+    EXPECT_GE(*ts->as_number(), 0.0);
+    EXPECT_EQ(*pid->as_number(), 1.0);
+
+    const std::string& phase = *ph->as_string();
+    ASSERT_TRUE(phase == "B" || phase == "E" || phase == "i")
+        << "unknown phase " << phase;
+    int& depth = depth_by_tid[*tid->as_number()];
+    if (phase == "B") ++depth;
+    if (phase == "E") --depth;
+    ASSERT_GE(depth, 0) << "E without matching B on tid "
+                        << *tid->as_number();
+    names.insert(*name->as_string());
+    EXPECT_TRUE(is_documented_name(*name->as_string()))
+        << "undocumented span name: " << *name->as_string();
+  }
+  for (const auto& [tid, depth] : depth_by_tid)
+    EXPECT_EQ(depth, 0) << "unbalanced B/E on tid " << tid;
+
+  // The probe run must actually hit the three layers the tracer claims to
+  // cover: the driver loop, the experiment's stage scope, and the executor.
+  EXPECT_TRUE(names.count("driver.experiment"));
+  EXPECT_TRUE(names.count(bench::stage::kChecksum));
+  EXPECT_TRUE(names.count("executor.task"));
+}
+
+TEST_F(TraceGoldenTest, ManifestTelemetryExportsEveryCounterAndGauge) {
+  const ExperimentRegistry registry = bench::study_registry();
+  DriverOptions options = base_options();
+  options.experiments = "probe";
+  std::ostringstream out;
+  const RunOutcome outcome = run_driver(registry, options, out);
+  ASSERT_EQ(outcome.exit_code, kExitOk) << out.str();
+
+  const std::optional<report::JsonValue> doc =
+      report::parse_json(slurp(dir_ / "manifest.json"));
+  ASSERT_TRUE(doc.has_value());
+  const report::JsonValue* telemetry = doc->member("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  const report::JsonValue* counters = telemetry->member("counters");
+  ASSERT_NE(counters, nullptr);
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const auto counter = static_cast<obs::Counter>(i);
+    const report::JsonValue* value =
+        counters->member(obs::counter_name(counter));
+    ASSERT_NE(value, nullptr)
+        << "manifest telemetry missing counter "
+        << obs::counter_name(counter);
+    EXPECT_TRUE(value->as_number().has_value());
+  }
+  const report::JsonValue* gauges = telemetry->member("gauges");
+  ASSERT_NE(gauges, nullptr);
+  for (std::size_t i = 0; i < obs::kGaugeCount; ++i) {
+    const auto gauge = static_cast<obs::Gauge>(i);
+    ASSERT_NE(gauges->member(obs::gauge_name(gauge)), nullptr)
+        << "manifest telemetry missing gauge " << obs::gauge_name(gauge);
+  }
+  // The probe computes (never cached), so the run counted an executed
+  // experiment and its 256 executor tasks.
+  EXPECT_GE(*counters->member("experiments.computed")->as_number(), 1.0);
+  EXPECT_GE(*counters->member("tasks.executed")->as_number(), 256.0);
+}
+
+TEST_F(TraceGoldenTest, JsonExportStaysByteIdenticalWarmVsCold) {
+  // The telemetry block in --json-out is derived from the exported content
+  // only (never from run-variant counters), so a cold computing run and a
+  // warm cache-replay run export byte-identical documents.
+  ExperimentRegistry registry;
+  registry.add({"t1", "writes a line", "toy{n=1}", true,
+                [](ExperimentContext& ctx) {
+                  const auto scope = ctx.timer.scope("compute");
+                  ctx.out << "t1 report line\n";
+                  ctx.add_artifact("t1_data.json", "{\"v\":1}\n");
+                }});
+
+  DriverOptions options = base_options();
+  options.experiments = "t1";
+  options.json_out = (dir_ / "export.json").string();
+  std::ostringstream out_cold;
+  const RunOutcome cold = run_driver(registry, options, out_cold);
+  ASSERT_EQ(cold.exit_code, kExitOk) << out_cold.str();
+  ASSERT_EQ(cold.misses, 1u);
+  const std::string export_cold = slurp(dir_ / "export.json");
+
+  std::ostringstream out_warm;
+  const RunOutcome warm = run_driver(registry, options, out_warm);
+  ASSERT_EQ(warm.exit_code, kExitOk) << out_warm.str();
+  ASSERT_EQ(warm.hits, 1u);
+  const std::string export_warm = slurp(dir_ / "export.json");
+
+  EXPECT_EQ(export_cold, export_warm)
+      << "--json-out must not depend on cache temperature";
+
+  const std::optional<report::JsonValue> doc = report::parse_json(export_cold);
+  ASSERT_TRUE(doc.has_value());
+  const report::JsonValue* telemetry = doc->member("telemetry");
+  ASSERT_NE(telemetry, nullptr) << "export telemetry block missing";
+  ASSERT_NE(telemetry->member("experiments"), nullptr);
+  EXPECT_EQ(*telemetry->member("experiments")->as_number(), 1.0);
+  EXPECT_EQ(*telemetry->member("failures")->as_number(), 0.0);
+  EXPECT_GT(*telemetry->member("payload_bytes")->as_number(), 0.0);
+  EXPECT_EQ(*telemetry->member("artifacts")->as_number(), 1.0);
+  ASSERT_NE(telemetry->member("payload_size_log2"), nullptr);
+  EXPECT_FALSE(telemetry->member("payload_size_log2")->as_array()->empty());
+}
+
+}  // namespace
+}  // namespace vdbench::cli

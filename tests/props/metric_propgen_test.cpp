@@ -1,0 +1,127 @@
+// Property-based sweeps over the metric catalogue: each property is
+// checked on >= 200 generated confusion matrices (including degenerate
+// ones) rather than on hand-picked examples. The generator is seeded from
+// the test name (see tests/support/propgen.h), so every failure
+// reproduces deterministically and the counterexample matrix is printed
+// by the assertion message.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.h"
+#include "support/propgen.h"
+
+namespace vdbench::core {
+namespace {
+
+using testsupport::PropGen;
+
+constexpr std::size_t kCases = 256;
+
+EvalContext context_of(const ConfusionMatrix& cm) {
+  EvalContext ctx;
+  ctx.cm = cm;
+  return ctx;
+}
+
+TEST(MetricPropertyGen, BoundedMetricsStayInDeclaredRange) {
+  // Every metric with a finite declared range respects it on every input
+  // where it is defined — in particular precision/recall/F1 in [0,1] and
+  // MCC / Youden's J in [-1,1].
+  PropGen gen = PropGen::from_current_test();
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const ConfusionMatrix cm = gen.confusion();
+    const EvalContext ctx = context_of(cm);
+    for (const MetricId id : all_metrics()) {
+      if (!metric_bounded(id)) continue;
+      const double v = compute_metric(id, ctx);
+      if (!std::isfinite(v)) continue;  // undefined is legal, out-of-range is not
+      const MetricInfo& info = metric_info(id);
+      EXPECT_GE(v, info.range_lo - 1e-12)
+          << info.key << " on " << cm.to_string();
+      EXPECT_LE(v, info.range_hi + 1e-12)
+          << info.key << " on " << cm.to_string();
+    }
+  }
+}
+
+TEST(MetricPropertyGen, F1IsHarmonicMeanOfPrecisionAndRecall) {
+  PropGen gen = PropGen::from_current_test();
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const ConfusionMatrix cm = gen.confusion();
+    const EvalContext ctx = context_of(cm);
+    const double p = compute_metric(MetricId::kPrecision, ctx);
+    const double r = compute_metric(MetricId::kRecall, ctx);
+    const double f1 = compute_metric(MetricId::kFMeasure, ctx);
+    if (!std::isfinite(p) || !std::isfinite(r) || !std::isfinite(f1) ||
+        p + r == 0.0)
+      continue;
+    EXPECT_NEAR(f1, 2.0 * p * r / (p + r), 1e-9) << cm.to_string();
+  }
+}
+
+TEST(MetricPropertyGen, MccNegatesWhenPredictionsAreInverted) {
+  // Inverting every prediction (report <-> silence) swaps TP<->FN and
+  // TN<->FP; a correlation coefficient must exactly change sign.
+  PropGen gen = PropGen::from_current_test();
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const ConfusionMatrix cm = gen.confusion();
+    ConfusionMatrix inverted;
+    inverted.tp = cm.fn;
+    inverted.fn = cm.tp;
+    inverted.tn = cm.fp;
+    inverted.fp = cm.tn;
+    const double mcc = compute_metric(MetricId::kMcc, context_of(cm));
+    const double mcc_inv =
+        compute_metric(MetricId::kMcc, context_of(inverted));
+    if (!std::isfinite(mcc) || !std::isfinite(mcc_inv)) {
+      // Definedness is symmetric: the inverted denominator is the same
+      // product of marginals.
+      EXPECT_EQ(std::isfinite(mcc), std::isfinite(mcc_inv))
+          << cm.to_string();
+      continue;
+    }
+    EXPECT_NEAR(mcc, -mcc_inv, 1e-9) << cm.to_string();
+  }
+}
+
+TEST(MetricPropertyGen, CoreMetricsAreMonotoneWhenAMissBecomesADetection) {
+  // Converting one FN into a TP (same workload, strictly better tool) must
+  // not decrease any of the headline quality metrics.
+  PropGen gen = PropGen::from_current_test();
+  const MetricId monotone[] = {MetricId::kPrecision, MetricId::kRecall,
+                               MetricId::kFMeasure,  MetricId::kAccuracy,
+                               MetricId::kJaccard,   MetricId::kMcc,
+                               MetricId::kInformedness};
+  for (std::size_t i = 0; i < kCases; ++i) {
+    ConfusionMatrix cm = gen.confusion();
+    if (cm.fn == 0) cm.fn = 1 + gen.below(100);
+    ConfusionMatrix better = cm;
+    ++better.tp;
+    --better.fn;
+    for (const MetricId id : monotone) {
+      const double v = compute_metric(id, context_of(cm));
+      const double v_better = compute_metric(id, context_of(better));
+      if (!std::isfinite(v) || !std::isfinite(v_better)) continue;
+      EXPECT_GE(v_better, v - 1e-12)
+          << metric_info(id).key << " on " << cm.to_string();
+    }
+  }
+}
+
+TEST(MetricPropertyGen, YoudenJIsRecallPlusSpecificityMinusOne) {
+  PropGen gen = PropGen::from_current_test();
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const ConfusionMatrix cm = gen.confusion();
+    const EvalContext ctx = context_of(cm);
+    const double j = compute_metric(MetricId::kInformedness, ctx);
+    const double recall = compute_metric(MetricId::kRecall, ctx);
+    const double spec = compute_metric(MetricId::kSpecificity, ctx);
+    if (!std::isfinite(j) || !std::isfinite(recall) || !std::isfinite(spec))
+      continue;
+    EXPECT_NEAR(j, recall + spec - 1.0, 1e-9) << cm.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace vdbench::core

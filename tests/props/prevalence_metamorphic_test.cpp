@@ -1,0 +1,132 @@
+// Metamorphic tests for prevalence behaviour — the paper's central
+// analytical claim. Instead of asserting absolute metric values, each test
+// applies a semantics-preserving transformation to a generated benchmark
+// (scaling the negative class, sweeping prevalence at fixed detector
+// quality) and asserts the documented relation between the two outputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.h"
+#include "support/propgen.h"
+
+namespace vdbench::core {
+namespace {
+
+using testsupport::PropGen;
+
+constexpr std::size_t kCases = 256;
+
+EvalContext context_of(const ConfusionMatrix& cm) {
+  EvalContext ctx;
+  ctx.cm = cm;
+  return ctx;
+}
+
+// Scale only the negative class (FP and TN) by k: the tool's behaviour on
+// vulnerabilities is untouched, the workload just contains k times as many
+// clean sites with the same per-site fallout.
+ConfusionMatrix scale_negatives(const ConfusionMatrix& cm, std::uint64_t k) {
+  ConfusionMatrix scaled = cm;
+  scaled.fp *= k;
+  scaled.tn *= k;
+  return scaled;
+}
+
+TEST(PrevalenceMetamorphic, PositiveClassRatesIgnoreNegativeScaling) {
+  // Recall and FNR are functions of (TP, FN) only, so diluting the
+  // workload with clean sites must leave them bit-for-bit unchanged.
+  PropGen gen = PropGen::from_current_test();
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const ConfusionMatrix cm = gen.confusion();
+    const std::uint64_t k = 2 + gen.below(30);
+    const EvalContext base = context_of(cm);
+    const EvalContext diluted = context_of(scale_negatives(cm, k));
+    for (const MetricId id : {MetricId::kRecall, MetricId::kFnRate}) {
+      const double v = compute_metric(id, base);
+      const double v_diluted = compute_metric(id, diluted);
+      EXPECT_EQ(std::isfinite(v), std::isfinite(v_diluted))
+          << metric_info(id).key << " on " << cm.to_string() << " k=" << k;
+      if (std::isfinite(v)) {
+        EXPECT_DOUBLE_EQ(v, v_diluted)
+            << metric_info(id).key << " on " << cm.to_string() << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(PrevalenceMetamorphic, PrecisionNeverImprovesUnderNegativeDilution) {
+  // Scaling the negative class by k >= 1 multiplies FP while TP stays
+  // fixed, so precision can only fall (strictly, whenever FP > 0). This is
+  // the paper's "precision collapses at low prevalence" effect stated as a
+  // metamorphic relation.
+  PropGen gen = PropGen::from_current_test();
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const ConfusionMatrix cm = gen.confusion();
+    const std::uint64_t k = 2 + gen.below(30);
+    const double p = compute_metric(MetricId::kPrecision, context_of(cm));
+    const double p_diluted = compute_metric(
+        MetricId::kPrecision, context_of(scale_negatives(cm, k)));
+    if (!std::isfinite(p) || !std::isfinite(p_diluted)) continue;
+    EXPECT_LE(p_diluted, p + 1e-12) << cm.to_string() << " k=" << k;
+    if (cm.fp > 0 && cm.tp > 0) {
+      EXPECT_LT(p_diluted, p) << cm.to_string() << " k=" << k;
+    }
+  }
+}
+
+TEST(PrevalenceMetamorphic, CataloguedInvarianceMatchesAsymptoticSweep) {
+  // The catalogue flags each metric as prevalence-invariant or not; check
+  // the flag against the metric's actual behaviour on asymptotic expected
+  // matrices for a fixed detector at two different prevalences. Flagged
+  // metrics must agree across the sweep; this guards the catalogue
+  // metadata the paper's comparability argument rests on.
+  PropGen gen = PropGen::from_current_test();
+  constexpr std::uint64_t kItems = 4'000'000;
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const double sensitivity = gen.uniform(0.05, 0.95);
+    const double fallout = gen.uniform(0.01, 0.5);
+    const double prev_a = gen.uniform(0.05, 0.25);
+    const double prev_b = gen.uniform(0.30, 0.6);
+    const EvalContext a =
+        context_of(expected_confusion(sensitivity, fallout, prev_a, kItems));
+    const EvalContext b =
+        context_of(expected_confusion(sensitivity, fallout, prev_b, kItems));
+    for (const MetricId id : all_metrics()) {
+      if (!metric_info(id).prevalence_invariant) continue;
+      if (id == MetricId::kPrevalence) continue;  // trivially varies
+      const double va = compute_metric(id, a);
+      const double vb = compute_metric(id, b);
+      if (!std::isfinite(va) || !std::isfinite(vb)) continue;
+      // Rounded cell counts leave O(1/items) noise; 1e-4 relative is far
+      // above it and far below any real prevalence dependence.
+      const double tol = 1e-4 * std::max(1.0, std::fabs(va));
+      EXPECT_NEAR(va, vb, tol)
+          << metric_info(id).key << " sens=" << sensitivity
+          << " fallout=" << fallout << " prev " << prev_a << " vs " << prev_b;
+    }
+  }
+}
+
+TEST(PrevalenceMetamorphic, NonInvariantHeadlineMetricsDoMoveWithPrevalence) {
+  // Converse guard: precision and NPV are catalogued as prevalence-
+  // dependent; on a mid-quality detector they must actually move, or the
+  // invariance sweep above would be vacuous.
+  const double sensitivity = 0.7;
+  const double fallout = 0.1;
+  constexpr std::uint64_t kItems = 4'000'000;
+  const EvalContext low =
+      context_of(expected_confusion(sensitivity, fallout, 0.02, kItems));
+  const EvalContext high =
+      context_of(expected_confusion(sensitivity, fallout, 0.5, kItems));
+  for (const MetricId id : {MetricId::kPrecision, MetricId::kNpv}) {
+    ASSERT_FALSE(metric_info(id).prevalence_invariant)
+        << metric_info(id).key;
+    const double v_low = compute_metric(id, low);
+    const double v_high = compute_metric(id, high);
+    EXPECT_GT(std::fabs(v_low - v_high), 0.05) << metric_info(id).key;
+  }
+}
+
+}  // namespace
+}  // namespace vdbench::core

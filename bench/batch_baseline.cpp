@@ -1,0 +1,350 @@
+// Scalar-vs-batch baseline recorder for the batch metric kernels.
+//
+// Times the converted hot-stage shapes (E2 single-metric columns, E6
+// agreement value tables, E13 suite value tables, E16-scale full catalogue
+// planes) in both spellings — per-context compute_metric / compute_all_metrics
+// against core::BatchEvaluator over a SoA ConfusionBatch — and emits
+// BENCH_batch.json. A threads sweep over the arena-backed E2 assessor stage
+// records that the work-stealing executor holds the batch path's timing at
+// higher thread counts.
+//
+// Modes:
+//   vdbench_batch_baseline --self-check        bitwise scalar==batch gate
+//   vdbench_batch_baseline --json <path>       record the baseline file
+#include <chrono>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/metrics.h"
+#include "core/properties.h"
+#include "core/sampling.h"
+#include "stats/arena.h"
+#include "stats/parallel.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace vdbench;
+
+constexpr std::uint64_t kGridSeed = 20150622;  // the study seed
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+core::EvalContext random_context(stats::Rng& rng) {
+  const auto cell = [&](std::int64_t hi) -> std::uint64_t {
+    if (rng.bernoulli(0.15)) return 0;
+    return static_cast<std::uint64_t>(rng.uniform_int(0, hi));
+  };
+  return core::make_abstract_context(
+      core::ConfusionMatrix{.tp = cell(400),
+                            .fp = cell(400),
+                            .tn = cell(4000),
+                            .fn = cell(400)},
+      5.0, 1.0);
+}
+
+std::vector<core::EvalContext> make_grid(std::size_t n) {
+  stats::Rng rng(kGridSeed);
+  std::vector<core::EvalContext> contexts;
+  contexts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) contexts.push_back(random_context(rng));
+  return contexts;
+}
+
+// --- self-check -----------------------------------------------------------
+
+int self_check() {
+  const std::vector<core::EvalContext> contexts = make_grid(4096);
+  stats::Arena arena;
+  const core::ConfusionBatch batch = core::make_batch(contexts, arena);
+  const core::BatchEvaluator evaluator(arena);
+  const std::span<double> plane =
+      arena.allocate_span<double>(contexts.size() * core::kMetricCount);
+  evaluator.evaluate_all(batch, plane);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    const std::vector<double> scalar = core::compute_all_metrics(contexts[i]);
+    for (std::size_t m = 0; m < core::kMetricCount; ++m) {
+      const double batch_v = plane[i * core::kMetricCount + m];
+      if (std::bit_cast<std::uint64_t>(batch_v) !=
+          std::bit_cast<std::uint64_t>(scalar[m])) {
+        ++mismatches;
+        std::cerr << "MISMATCH context " << i << " metric "
+                  << core::metric_info(core::all_metrics()[m]).key
+                  << ": batch " << batch_v << " scalar " << scalar[m] << "\n";
+      }
+    }
+  }
+  if (mismatches != 0) {
+    std::cerr << "self-check FAILED: " << mismatches
+              << " bitwise mismatches on the seed-" << kGridSeed
+              << " grid\n";
+    return 1;
+  }
+  std::cout << "self-check OK: " << contexts.size() << " contexts x "
+            << core::kMetricCount
+            << " metrics bitwise identical (seed " << kGridSeed << ")\n";
+  return 0;
+}
+
+// --- stage timings --------------------------------------------------------
+
+struct StageTiming {
+  std::string label;
+  std::size_t items = 0;    // metric evaluations per repeat
+  std::size_t repeats = 0;
+  double scalar_seconds = 0.0;
+  double batch_seconds = 0.0;
+};
+
+volatile double g_sink = 0.0;  // defeats dead-code elimination
+
+template <typename F>
+double time_repeats(std::size_t repeats, F&& body) {
+  const double start = now_seconds();
+  for (std::size_t r = 0; r < repeats; ++r) body();
+  return now_seconds() - start;
+}
+
+// E2 shape: one ranking metric evaluated over a long trial column.
+StageTiming stage_metric_column(const std::vector<core::EvalContext>& grid) {
+  StageTiming t{"e2.metric_column[mcc]", grid.size(), 200};
+  std::vector<double> out(grid.size());
+  t.scalar_seconds = time_repeats(t.repeats, [&] {
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      out[i] = core::compute_metric(core::MetricId::kMcc, grid[i]);
+    g_sink = out.back();
+  });
+  stats::Arena arena;
+  t.batch_seconds = time_repeats(t.repeats, [&] {
+    arena.reset();
+    const core::ConfusionBatch batch = core::make_batch(grid, arena);
+    const std::span<double> column = arena.allocate_span<double>(grid.size());
+    core::BatchEvaluator(arena).evaluate_metric(core::MetricId::kMcc, batch,
+                                                column);
+    g_sink = column.back();
+  });
+  return t;
+}
+
+// E6 shape: every ranking metric over a small tool population, many
+// populations (the per-population gather cost is part of the batch side).
+StageTiming stage_agreement_values(const std::vector<core::EvalContext>& grid,
+                                   std::size_t tools) {
+  const std::vector<core::MetricId> metrics = core::ranking_metrics();
+  const std::size_t populations = grid.size() / tools;
+  StageTiming t{"e6.agreement_values[" + std::to_string(metrics.size()) +
+                    "m x " + std::to_string(tools) + "t]",
+                populations * metrics.size() * tools, 40};
+  std::vector<double> out(tools);
+  t.scalar_seconds = time_repeats(t.repeats, [&] {
+    for (std::size_t p = 0; p < populations; ++p) {
+      const std::span<const core::EvalContext> pop(grid.data() + p * tools,
+                                                   tools);
+      for (const core::MetricId id : metrics) {
+        for (std::size_t i = 0; i < tools; ++i)
+          out[i] = core::compute_metric(id, pop[i]);
+        g_sink = out.back();
+      }
+    }
+  });
+  stats::Arena arena;
+  t.batch_seconds = time_repeats(t.repeats, [&] {
+    for (std::size_t p = 0; p < populations; ++p) {
+      arena.reset();
+      const std::span<const core::EvalContext> pop(grid.data() + p * tools,
+                                                   tools);
+      const core::ConfusionBatch batch = core::make_batch(pop, arena);
+      const core::BatchEvaluator evaluator(arena);
+      const std::span<double> plane =
+          arena.allocate_span<double>(tools * core::kMetricCount);
+      evaluator.evaluate_all(batch, plane);
+      for (const core::MetricId id : metrics)
+        g_sink = plane[(tools - 1) * core::kMetricCount +
+                       core::metric_index(id)];
+    }
+  });
+  return t;
+}
+
+// E13 shape: a handful of campaign metrics over the runs of each tool.
+StageTiming stage_suite_values(const std::vector<core::EvalContext>& grid,
+                               std::size_t runs) {
+  const std::vector<core::MetricId> metrics = {
+      core::MetricId::kFMeasure, core::MetricId::kMcc,
+      core::MetricId::kRecall, core::MetricId::kNormalizedExpectedCost,
+      core::MetricId::kAccuracy};
+  const std::size_t suites = grid.size() / runs;
+  StageTiming t{"e13.suite_values[" + std::to_string(metrics.size()) +
+                    "m x " + std::to_string(runs) + "r]",
+                suites * metrics.size() * runs, 40};
+  std::vector<double> out(runs);
+  t.scalar_seconds = time_repeats(t.repeats, [&] {
+    for (std::size_t s = 0; s < suites; ++s) {
+      const std::span<const core::EvalContext> tool_runs(
+          grid.data() + s * runs, runs);
+      for (const core::MetricId id : metrics) {
+        for (std::size_t r = 0; r < runs; ++r)
+          out[r] = core::compute_metric(id, tool_runs[r]);
+        g_sink = out.back();
+      }
+    }
+  });
+  stats::Arena arena;
+  t.batch_seconds = time_repeats(t.repeats, [&] {
+    for (std::size_t s = 0; s < suites; ++s) {
+      arena.reset();
+      const std::span<const core::EvalContext> tool_runs(
+          grid.data() + s * runs, runs);
+      const core::ConfusionBatch batch = core::make_batch(tool_runs, arena);
+      const core::BatchEvaluator evaluator(arena);
+      const std::span<double> column = arena.allocate_span<double>(runs);
+      for (const core::MetricId id : metrics) {
+        evaluator.evaluate_metric(id, batch, column);
+        g_sink = column.back();
+      }
+    }
+  });
+  return t;
+}
+
+// E16-scale shape: the full catalogue plane over a large grid — the
+// compute_all_metrics allocation plus 32 dispatches per context against
+// one shared-rate-plane sweep.
+StageTiming stage_full_plane(const std::vector<core::EvalContext>& grid) {
+  StageTiming t{"e16.full_catalogue_plane[32m]",
+                grid.size() * core::kMetricCount, 50};
+  t.scalar_seconds = time_repeats(t.repeats, [&] {
+    for (const core::EvalContext& ctx : grid) {
+      const std::vector<double> row = core::compute_all_metrics(ctx);
+      g_sink = row.back();
+    }
+  });
+  stats::Arena arena;
+  t.batch_seconds = time_repeats(t.repeats, [&] {
+    arena.reset();
+    const core::ConfusionBatch batch = core::make_batch(grid, arena);
+    const std::span<double> plane =
+        arena.allocate_span<double>(grid.size() * core::kMetricCount);
+    core::BatchEvaluator(arena).evaluate_all(batch, plane);
+    g_sink = plane.back();
+  });
+  return t;
+}
+
+// Threads sweep over the arena-backed E2 assessor stage (already batch
+// converted): records that the work-stealing executor keeps the converted
+// path's wall clock stable across pool sizes on this host.
+struct ThreadTiming {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+};
+
+std::vector<ThreadTiming> threads_sweep() {
+  core::AssessmentConfig cfg;
+  cfg.trials = 400;
+  const core::PropertyAssessor assessor(cfg);
+  std::vector<ThreadTiming> out;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    stats::set_global_threads(threads);
+    stats::Rng rng(kGridSeed);
+    const double start = now_seconds();
+    const core::MetricAssessment assessment =
+        assessor.assess(core::MetricId::kMcc, rng);
+    g_sink = assessment.scores.front();
+    out.push_back({threads, now_seconds() - start});
+  }
+  stats::set_global_threads(0);
+  return out;
+}
+
+int record_json(const std::string& path) {
+  if (self_check() != 0) return 1;
+
+  const std::vector<core::EvalContext> grid = make_grid(20000);
+  std::vector<StageTiming> stages;
+  stages.push_back(stage_metric_column(grid));
+  stages.push_back(stage_agreement_values(grid, 8));
+  stages.push_back(stage_suite_values(grid, 25));
+  stages.push_back(stage_full_plane(grid));
+  const std::vector<ThreadTiming> sweep = threads_sweep();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  out.precision(9);
+  out << "{\n"
+      << "  \"schema\": \"vdbench-batch-timings-v1\",\n"
+      << "  \"description\": \"Scalar-vs-batch wall-clock baseline for the "
+         "SoA metric kernels (core::BatchEvaluator + stats::Arena) on the "
+         "converted E2/E6/E13/E16 hot-stage shapes. Bitwise scalar==batch "
+         "equality on the seed grid is asserted before timing.\",\n"
+      << "  \"grid\": { \"seed\": " << kGridSeed
+      << ", \"contexts\": " << grid.size() << " },\n"
+      << "  \"host\": {\n"
+      << "    \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "    \"note\": \"single-CPU container: the stage speedups below "
+         "come from the batch kernels themselves (no per-call allocation, "
+         "one dispatch per batch, shared rate planes), not from "
+         "threading\"\n"
+      << "  },\n"
+      << "  \"stages\": [\n";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageTiming& t = stages[i];
+    const double speedup =
+        t.batch_seconds > 0.0 ? t.scalar_seconds / t.batch_seconds : 0.0;
+    out << "    {\n"
+        << "      \"label\": \"" << t.label << "\",\n"
+        << "      \"metric_evaluations_per_repeat\": " << t.items << ",\n"
+        << "      \"repeats\": " << t.repeats << ",\n"
+        << "      \"scalar_seconds\": " << t.scalar_seconds << ",\n"
+        << "      \"batch_seconds\": " << t.batch_seconds << ",\n"
+        << "      \"speedup\": " << speedup << "\n"
+        << "    }" << (i + 1 < stages.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"threads_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    out << "    { \"bench\": \"e2.assess[mcc]\", \"threads\": "
+        << sweep[i].threads << ", \"seconds\": " << sweep[i].seconds << " }"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  for (const StageTiming& t : stages) {
+    std::cout << t.label << ": scalar " << t.scalar_seconds << "s, batch "
+              << t.batch_seconds << "s ("
+              << (t.batch_seconds > 0.0 ? t.scalar_seconds / t.batch_seconds
+                                        : 0.0)
+              << "x)\n";
+  }
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-check") == 0) return self_check();
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      return record_json(argv[i + 1]);
+  }
+  std::cerr << "usage: vdbench_batch_baseline --self-check | --json <path>\n";
+  return 2;
+}

@@ -24,7 +24,7 @@ namespace vdbench::cli {
 /// contract. Bump whenever any experiment's rendered output or payload
 /// layout changes; every cache key embeds it, so a bump invalidates all
 /// previously cached results at once.
-inline constexpr std::uint32_t kEngineSchemaVersion = 2;
+inline constexpr std::uint32_t kEngineSchemaVersion = 3;
 
 /// A machine-readable side file an experiment produces (e.g. e13's
 /// campaign JSON). Artifacts travel inside the cached payload, so a cache

@@ -1,0 +1,92 @@
+// Batch (structure-of-arrays) metric evaluation.
+//
+// The study's hot loops evaluate the metric catalogue over thousands of
+// confusion matrices per sweep (E2 property trials, E6 agreement
+// populations, E13/E16 repeated benchmark runs). Going through
+// compute_metric(id, ctx) per matrix pays a 32-way enum dispatch per
+// value, recomputes shared rates (TPR alone feeds ~10 metrics) per
+// metric, and — via compute_all_metrics — a heap allocation per matrix.
+//
+// BatchEvaluator removes all three: callers gather N contexts into a
+// ConfusionBatch (separate tp/fp/tn/fn arrays plus the per-item scalars),
+// and each metric is computed by one straight-line loop over the batch —
+// the metric dispatch happens once per batch, shared rate planes are
+// computed at most once per batch, and all scratch comes from a
+// stats::Arena (no heap traffic after warm-up).
+//
+// Bit-identity contract: for every metric and every input,
+// evaluate_metric / evaluate_all produce EXACTLY the bits of
+// compute_metric(id, ctx) — same operations in the same order, same
+// degenerate-input policy (see core/metrics.h). The scalar path stays the
+// single source of truth for semantics; the batch path is a faster
+// spelling of it, and the test suite asserts bitwise equality over
+// random and degenerate grids.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "core/metrics.h"
+#include "stats/arena.h"
+
+namespace vdbench::core {
+
+/// N evaluation contexts in SoA layout. All pointers reference arrays of
+/// `size` elements owned elsewhere (typically a stats::Arena); a batch is
+/// a cheap view, valid until its backing memory is reset.
+struct ConfusionBatch {
+  std::size_t size = 0;
+  const std::uint64_t* tp = nullptr;
+  const std::uint64_t* fp = nullptr;
+  const std::uint64_t* tn = nullptr;
+  const std::uint64_t* fn = nullptr;
+  const double* cost_fn = nullptr;
+  const double* cost_fp = nullptr;
+  const double* analysis_seconds = nullptr;
+  const double* kloc = nullptr;
+  const double* auc = nullptr;
+};
+
+/// Gather an AoS span of contexts into a fresh SoA batch whose arrays are
+/// allocated from `arena`. The batch is valid until arena.reset().
+[[nodiscard]] ConfusionBatch make_batch(std::span<const EvalContext> contexts,
+                                        stats::Arena& arena);
+
+/// Batch metric kernels over a ConfusionBatch. The evaluator borrows an
+/// arena for rate-plane scratch; the caller controls its lifetime and
+/// resets it between batches.
+///
+/// Consecutive evaluate_metric calls on the SAME batch share the rate
+/// planes (TPR alone feeds ~10 metrics; a whole-catalogue sweep fills each
+/// plane once instead of once per metric). The cache is keyed by the
+/// batch's array identity, so an evaluator must be constructed after its
+/// batch and discarded before the arena is reset — exactly the lifetime
+/// every converted call site already uses.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(stats::Arena& arena) noexcept : arena_(&arena) {}
+
+  /// out[i] = compute_metric(id, context i), bit-for-bit.
+  /// Throws std::invalid_argument when out.size() != batch.size.
+  void evaluate_metric(MetricId id, const ConfusionBatch& batch,
+                       std::span<double> out) const;
+
+  /// Full catalogue plane, row-major: out[i * kMetricCount + m] is metric
+  /// m (catalogue order) of context i — each row bitwise equal to
+  /// compute_all_metrics(context i). Shared rate planes are computed once
+  /// for the whole batch. Throws std::invalid_argument when
+  /// out.size() != batch.size * kMetricCount.
+  void evaluate_all(const ConfusionBatch& batch, std::span<double> out) const;
+
+ private:
+  stats::Arena* arena_;
+  /// Lazily filled shared rate planes (tpr/fnr/tnr/fpr/ppv/npv) for the
+  /// batch identified by `cached_key_`/`cached_size_`.
+  mutable const std::uint64_t* cached_key_ = nullptr;
+  mutable std::size_t cached_size_ = 0;
+  mutable std::array<const double*, 6> planes_{};
+};
+
+}  // namespace vdbench::core

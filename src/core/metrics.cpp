@@ -255,7 +255,9 @@ double compute_metric(MetricId id, const EvalContext& ctx) {
       const double fnr = cm.fnr();
       const double tnr = cm.tnr();
       if (!is_defined(fnr) || !is_defined(tnr)) return kNaN;
-      if (tnr == 0.0) return kNaN;
+      // Positive numerator over zero denominator is +inf, matching LR+
+      // and DOR; only the 0/0 form is NaN (see the policy in metrics.h).
+      if (tnr == 0.0) return fnr == 0.0 ? kNaN : kInf;
       return fnr / tnr;
     }
     case MetricId::kDiagnosticOddsRatio: {
@@ -328,10 +330,18 @@ double compute_metric(MetricId id, const EvalContext& ctx) {
 }
 
 std::vector<double> compute_all_metrics(const EvalContext& ctx) {
-  std::vector<double> out;
-  out.reserve(kMetricCount);
-  for (const MetricId id : all_metrics()) out.push_back(compute_metric(id, ctx));
+  std::vector<double> out(kMetricCount);
+  compute_all_metrics(ctx, out);
   return out;
+}
+
+void compute_all_metrics(const EvalContext& ctx, std::span<double> out) {
+  if (out.size() != kMetricCount)
+    throw std::invalid_argument(
+        "compute_all_metrics: out.size() != kMetricCount");
+  const std::span<const MetricId> ids = all_metrics();
+  for (std::size_t i = 0; i < kMetricCount; ++i)
+    out[i] = compute_metric(ids[i], ctx);
 }
 
 double metric_utility(MetricId id, double value) {

@@ -5,8 +5,25 @@
 //
 // Every metric is computed from an EvalContext — the confusion matrix of a
 // benchmark run plus the scenario cost model and operational measurements.
-// Degenerate inputs yield NaN; callers decide how undefinedness is scored
-// (the property assessor treats it as a first-class metric weakness).
+//
+// Degenerate-input policy (single source of truth; the scalar path here
+// and core::BatchEvaluator agree bit-for-bit, asserted by tests):
+//  - Indeterminate 0/0 forms are NaN ("the benchmark gives no answer"):
+//    every basic rate whose denominator is empty (PPV with TP+FP == 0,
+//    TPR with no actual positives, ...), accuracy/error on an empty
+//    matrix, MCC and kappa on single-class predictions, LR+/LR-/DOR with
+//    zero numerator AND zero denominator, cost metrics with an all-zero
+//    worst case, and operational metrics with missing measurements.
+//  - Unbounded ratios with a positive numerator over a zero denominator
+//    are +infinity — the value the metric's declared range advertises:
+//    LR+ with FPR == 0 < TPR, LR- with TNR == 0 < FNR, DOR with
+//    FP*FN == 0 < TP*TN. Infinity still counts as undefined for ranking
+//    (metric_utility and the property assessor filter on isfinite), so
+//    "perfectly separable run" and "no answer" are both excluded there.
+//  - F-family scores with P == R == 0 are 0, not NaN: the tool made
+//    predictions and every one was wrong — a legitimate worst score.
+// Callers decide how undefinedness is scored (the property assessor
+// treats it as a first-class metric weakness).
 #pragma once
 
 #include <cstddef>
@@ -128,6 +145,13 @@ struct MetricInfo {
 /// All metrics, in canonical catalogue order.
 [[nodiscard]] std::span<const MetricId> all_metrics();
 
+/// Position of a metric in the canonical catalogue order (the enum is
+/// declared in that order) — e.g. the column of this metric's values in a
+/// BatchEvaluator::evaluate_all plane.
+[[nodiscard]] constexpr std::size_t metric_index(MetricId id) noexcept {
+  return static_cast<std::size_t>(id);
+}
+
 /// Metrics that induce a quality ordering (direction != kNone); these are
 /// the candidates considered by scenario analysis and MCDA.
 [[nodiscard]] std::vector<MetricId> ranking_metrics();
@@ -141,6 +165,11 @@ struct MetricInfo {
 
 /// Compute every catalogue metric for one context, in catalogue order.
 [[nodiscard]] std::vector<double> compute_all_metrics(const EvalContext& ctx);
+
+/// Allocation-free overload: fill `out` (size kMetricCount, catalogue
+/// order) in place. Hot loops pair this with a reused buffer or an arena
+/// span; throws std::invalid_argument when out.size() != kMetricCount.
+void compute_all_metrics(const EvalContext& ctx, std::span<double> out);
 
 /// Map a metric value to a "higher is better" utility for ranking:
 /// identity for kHigherBetter, negation for kLowerBetter. Returns NaN for

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/batch.h"
 #include "core/sampling.h"
+#include "stats/arena.h"
 #include "stats/descriptive.h"
 #include "stats/parallel.h"
 
@@ -189,7 +191,14 @@ double PropertyAssessor::assess_discrimination(MetricId id,
   if (metric_info(id).direction == Direction::kNone) return 0.0;
   const std::size_t comparisons = config_.quality_gaps.size() * config_.trials;
   std::vector<stats::Rng> children = split_children(rng, comparisons);
-  std::vector<double> outcome(comparisons, 0.0);
+  // Sample both contexts of every comparison into SoA slots in parallel
+  // (pre-split Rngs keep the draws thread-count invariant), then score the
+  // whole 2*comparisons batch with one kernel pass per metric instead of
+  // one dispatch per matrix.
+  stats::Arena& arena = stats::Arena::scratch();
+  arena.reset();
+  const std::span<EvalContext> contexts =
+      arena.allocate_span<EvalContext>(2 * comparisons);
   stats::parallel_for_indexed(comparisons, [&](std::size_t k) {
     stats::Rng& trial_rng = children[k];
     const double gap = config_.quality_gaps[k / config_.trials];
@@ -203,24 +212,27 @@ double PropertyAssessor::assess_discrimination(MetricId id,
         better, config_.base_prevalence, config_.benchmark_items, trial_rng);
     const ConfusionMatrix cm_worse = sample_confusion(
         worse, config_.base_prevalence, config_.benchmark_items, trial_rng);
-    const double u_better = metric_utility(
-        id, compute_metric(id, make_abstract_context(cm_better,
-                                                     config_.cost_fn,
-                                                     config_.cost_fp)));
-    const double u_worse = metric_utility(
-        id, compute_metric(id, make_abstract_context(cm_worse,
-                                                     config_.cost_fn,
-                                                     config_.cost_fp)));
-    if (!std::isfinite(u_better) || !std::isfinite(u_worse)) {
-      outcome[k] = 0.5;  // metric gives no answer
-    } else if (u_better > u_worse) {
-      outcome[k] = 1.0;
-    } else if (u_better == u_worse) {
-      outcome[k] = 0.5;
-    }
+    contexts[2 * k] = make_abstract_context(cm_better, config_.cost_fn,
+                                            config_.cost_fp);
+    contexts[2 * k + 1] = make_abstract_context(cm_worse, config_.cost_fn,
+                                                config_.cost_fp);
   });
-  double total = 0.0;
-  for (const double o : outcome) total += o;  // fixed order: index 0..n-1
+  const ConfusionBatch batch = make_batch(contexts, arena);
+  const std::span<double> values =
+      arena.allocate_span<double>(2 * comparisons);
+  BatchEvaluator(arena).evaluate_metric(id, batch, values);
+  double total = 0.0;  // fixed order: index 0..n-1
+  for (std::size_t k = 0; k < comparisons; ++k) {
+    const double u_better = metric_utility(id, values[2 * k]);
+    const double u_worse = metric_utility(id, values[2 * k + 1]);
+    if (!std::isfinite(u_better) || !std::isfinite(u_worse)) {
+      total += 0.5;  // metric gives no answer
+    } else if (u_better > u_worse) {
+      total += 1.0;
+    } else if (u_better == u_worse) {
+      total += 0.5;
+    }
+  }
   return comparisons == 0 ? 0.0 : total / static_cast<double>(comparisons);
 }
 
@@ -303,13 +315,20 @@ double PropertyAssessor::assess_stability(MetricId id,
   if (metric_info(id).direction == Direction::kNone) return 0.0;
   const DetectorProfile d{0.70, 0.10};
   std::vector<stats::Rng> children = split_children(rng, config_.trials);
-  std::vector<double> sampled(config_.trials);
+  stats::Arena& arena = stats::Arena::scratch();
+  arena.reset();
+  const std::span<EvalContext> contexts =
+      arena.allocate_span<EvalContext>(config_.trials);
   stats::parallel_for_indexed(config_.trials, [&](std::size_t t) {
     const ConfusionMatrix cm = sample_confusion(
         d, config_.base_prevalence, config_.benchmark_items, children[t]);
-    sampled[t] = compute_metric(
-        id, make_abstract_context(cm, config_.cost_fn, config_.cost_fp));
+    contexts[t] =
+        make_abstract_context(cm, config_.cost_fn, config_.cost_fp);
   });
+  const ConfusionBatch batch = make_batch(contexts, arena);
+  const std::span<double> sampled =
+      arena.allocate_span<double>(config_.trials);
+  BatchEvaluator(arena).evaluate_metric(id, batch, sampled);
   std::vector<double> values;
   values.reserve(config_.trials);
   for (const double v : sampled)
@@ -330,7 +349,10 @@ double PropertyAssessor::assess_definedness(MetricId id,
                                             stats::Rng& rng) const {
   constexpr std::uint64_t kSmallBenchmark = 40;
   std::vector<stats::Rng> children = split_children(rng, config_.trials);
-  std::vector<std::uint8_t> trial_defined(config_.trials, 0);
+  stats::Arena& arena = stats::Arena::scratch();
+  arena.reset();
+  const std::span<EvalContext> contexts =
+      arena.allocate_span<EvalContext>(config_.trials);
   stats::parallel_for_indexed(config_.trials, [&](std::size_t t) {
     stats::Rng& trial_rng = children[t];
     DetectorProfile d;
@@ -339,12 +361,16 @@ double PropertyAssessor::assess_definedness(MetricId id,
     const double prev = trial_rng.uniform(0.0, 0.5);
     const ConfusionMatrix cm =
         sample_confusion(d, prev, kSmallBenchmark, trial_rng);
-    const double v = compute_metric(
-        id, make_abstract_context(cm, config_.cost_fn, config_.cost_fp));
-    trial_defined[t] = std::isfinite(v) ? 1 : 0;
+    contexts[t] =
+        make_abstract_context(cm, config_.cost_fn, config_.cost_fp);
   });
+  const ConfusionBatch batch = make_batch(contexts, arena);
+  const std::span<double> sampled =
+      arena.allocate_span<double>(config_.trials);
+  BatchEvaluator(arena).evaluate_metric(id, batch, sampled);
   std::size_t defined = 0;
-  for (const std::uint8_t f : trial_defined) defined += f;
+  for (const double v : sampled)
+    if (std::isfinite(v)) ++defined;
   return static_cast<double>(defined) / static_cast<double>(config_.trials);
 }
 

@@ -95,26 +95,63 @@ struct ParallelExecutor::Impl {
   std::condition_variable work_done;
   bool stopping = false;
 
-  // State of the job currently being executed (guarded by mutex except for
-  // next_index, which tasks claim lock-free).
+  // State of the job currently being executed (guarded by mutex; the
+  // per-shard index ranges below have their own locks).
   std::uint64_t generation = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
   std::size_t n = 0;
-  std::atomic<std::size_t> next_index{0};
   std::size_t workers_active = 0;
+
+  // Work stealing: the index range [0, n) is pre-partitioned into one
+  // contiguous chunk per participant (worker threads own shards
+  // 0..thread_count-2, the calling thread owns the last). An owner pops
+  // from the FRONT of its shard so each thread still sweeps its chunk in
+  // ascending index order (cache-friendly for slot-indexed writes); a
+  // thread whose shard is empty scans the other shards in a fixed
+  // round-robin order and steals from the BACK, keeping owner and thief
+  // on opposite ends of the range. Each shard is guarded by its own
+  // mutex — claims are two loads and an increment under an uncontended
+  // lock; contention only appears at the end of a shard, exactly when
+  // stealing is useful. Because the range is fixed up front, a full empty
+  // scan means the job has no unclaimed work and the thread can retire.
+  struct Shard {
+    std::mutex m;
+    std::size_t head = 0;  ///< next unclaimed index
+    std::size_t tail = 0;  ///< one past the last unclaimed index
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
   std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
 
-  // Claim and run tasks until the index range is exhausted. Every task runs
+  static constexpr std::size_t kNoTask =
+      std::numeric_limits<std::size_t>::max();
+
+  // Next task for participant `self`: own shard front, else steal from the
+  // back of the first non-empty victim in deterministic scan order.
+  std::size_t claim(std::size_t self) {
+    {
+      Shard& own = *shards[self];
+      std::lock_guard<std::mutex> lock(own.m);
+      if (own.head < own.tail) return own.head++;
+    }
+    const std::size_t k = shards.size();
+    for (std::size_t offset = 1; offset < k; ++offset) {
+      Shard& victim = *shards[(self + offset) % k];
+      std::lock_guard<std::mutex> lock(victim.m);
+      if (victim.head < victim.tail) return --victim.tail;
+    }
+    return kNoTask;
+  }
+
+  // Claim and run tasks until no shard has unclaimed work. Every task runs
   // even after a failure so the propagated (lowest-index) exception does not
   // depend on scheduling — except under cancellation, where remaining tasks
   // are abandoned and the whole computation is discarded anyway.
-  void drain() {
+  void drain(std::size_t self) {
     tl_inside_task = true;
-    for (std::size_t i = next_index.fetch_add(1); i < n;
-         i = next_index.fetch_add(1)) {
+    for (std::size_t i = claim(self); i != kNoTask; i = claim(self)) {
       if (cancellation_requested()) {
         obs::count(obs::Counter::kTasksCancelled);
         obs::instant("executor.cancel");
@@ -133,7 +170,7 @@ struct ParallelExecutor::Impl {
     tl_inside_task = false;
   }
 
-  void worker_loop() {
+  void worker_loop(std::size_t self) {
     std::uint64_t seen_generation = 0;
     for (;;) {
       {
@@ -144,7 +181,7 @@ struct ParallelExecutor::Impl {
         if (stopping) return;
         seen_generation = generation;
       }
-      drain();
+      drain(self);
       {
         std::lock_guard<std::mutex> lock(mutex);
         if (--workers_active == 0) work_done.notify_all();
@@ -156,10 +193,14 @@ struct ParallelExecutor::Impl {
 ParallelExecutor::ParallelExecutor(std::size_t threads)
     : impl_(std::make_unique<Impl>()) {
   impl_->thread_count = threads == 0 ? default_thread_count() : threads;
+  impl_->shards.reserve(impl_->thread_count);
+  for (std::size_t i = 0; i < impl_->thread_count; ++i)
+    impl_->shards.push_back(std::make_unique<Impl::Shard>());
   const std::size_t worker_count = impl_->thread_count - 1;
   impl_->workers.reserve(worker_count);
   for (std::size_t i = 0; i < worker_count; ++i)
-    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+    impl_->workers.emplace_back(
+        [impl = impl_.get(), i] { impl->worker_loop(i); });
 }
 
 ParallelExecutor::~ParallelExecutor() {
@@ -215,7 +256,14 @@ void ParallelExecutor::parallel_for_indexed(
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->fn = &fn;
     impl_->n = n;
-    impl_->next_index.store(0);
+    // Partition [0, n) into one contiguous chunk per shard; empty chunks
+    // (n < thread_count) are fine — those participants go straight to
+    // stealing, then retire.
+    const std::size_t k = impl_->shards.size();
+    for (std::size_t s = 0; s < k; ++s) {
+      impl_->shards[s]->head = s * n / k;
+      impl_->shards[s]->tail = (s + 1) * n / k;
+    }
     impl_->first_error = nullptr;
     impl_->first_error_index = std::numeric_limits<std::size_t>::max();
     impl_->workers_active = impl_->workers.size();
@@ -223,7 +271,8 @@ void ParallelExecutor::parallel_for_indexed(
   }
   impl_->work_ready.notify_all();
 
-  impl_->drain();  // the calling thread participates
+  // The calling thread participates, owning the last shard.
+  impl_->drain(impl_->shards.size() - 1);
 
   {
     std::unique_lock<std::mutex> lock(impl_->mutex);

@@ -14,6 +14,15 @@
 // std::thread::hardware_concurrency(). Nested parallel_for_indexed calls
 // (a task that itself fans out) run inline on the worker thread, so nesting
 // cannot deadlock the fixed pool.
+//
+// Scheduling is work-stealing: the index range is pre-partitioned into one
+// contiguous chunk per participant, owners sweep their chunk front-to-back,
+// and idle threads steal from the back of the busiest survivors — so an
+// imbalanced sweep (one slow scenario amid cheap ones) no longer serialises
+// on the slowest shard. Stealing changes WHERE a task runs, never what it
+// computes or where it writes, so the determinism contract above is
+// unaffected; cancellation and lowest-index error propagation behave
+// exactly as in the shared-counter scheduler this replaced.
 #pragma once
 
 #include <atomic>

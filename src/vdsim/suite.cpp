@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/batch.h"
+#include "stats/arena.h"
 #include "stats/descriptive.h"
 #include "stats/parallel.h"
 
@@ -58,16 +60,28 @@ SuiteResult run_suite(const std::vector<ToolProfile>& tools,
         run_benchmarks(tools, workload, config.costs, run_rng);
   });
 
-  // values[tool][metric][run], reduced in run order.
+  // values[tool][metric][run], reduced in run order. Per tool, the runs
+  // are gathered into one SoA batch so every metric is a single kernel
+  // pass over the runs instead of a dispatch per (run, metric) pair.
   std::vector<std::vector<std::vector<double>>> values(
       tools.size(), std::vector<std::vector<double>>(metrics.size()));
   std::vector<std::vector<std::size_t>> undefined(
       tools.size(), std::vector<std::size_t>(metrics.size(), 0));
-  for (std::size_t run = 0; run < config.runs; ++run) {
-    const std::vector<BenchmarkResult>& results = run_results[run];
-    for (std::size_t t = 0; t < tools.size(); ++t) {
-      for (std::size_t m = 0; m < metrics.size(); ++m) {
-        const double v = results[t].metric(metrics[m]);
+  stats::Arena& arena = stats::Arena::scratch();
+  for (std::size_t t = 0; t < tools.size(); ++t) {
+    arena.reset();
+    const std::span<core::EvalContext> contexts =
+        arena.allocate_span<core::EvalContext>(config.runs);
+    for (std::size_t run = 0; run < config.runs; ++run)
+      contexts[run] = run_results[run][t].context;
+    const core::ConfusionBatch batch = core::make_batch(contexts, arena);
+    const core::BatchEvaluator evaluator(arena);
+    const std::span<double> run_values =
+        arena.allocate_span<double>(config.runs);
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      evaluator.evaluate_metric(metrics[m], batch, run_values);
+      for (std::size_t run = 0; run < config.runs; ++run) {
+        const double v = run_values[run];
         if (std::isfinite(v))
           values[t][m].push_back(v);
         else
@@ -90,7 +104,7 @@ SuiteResult run_suite(const std::vector<ToolProfile>& tools,
       if (!me.values.empty()) {
         me.ci = stats::bootstrap_mean_ci(me.values, boot_rng,
                                          config.bootstrap_replicates,
-                                         config.confidence);
+                                         config.confidence, arena);
       }
       est.metrics.push_back(std::move(me));
     }

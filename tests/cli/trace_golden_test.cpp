@@ -69,6 +69,7 @@ bool is_documented_name(const std::string& name) {
       "driver.export", "driver.resume", "executor.task", "executor.cancel",
       "cache.fetch", "cache.store", "cache.corrupt", "cache replay",
       "cache store", "fault.fire", "study.stage1", "study.stage2",
+      "batch.evaluate_metric", "batch.evaluate_all",
       bench::stage::kCatalogue, bench::stage::kStage1Assessment,
       bench::stage::kStage2Validation, bench::stage::kPrevalenceSweep,
       bench::stage::kGenerateWorkload, bench::stage::kGenerateWorkloads,

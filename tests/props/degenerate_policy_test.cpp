@@ -1,0 +1,137 @@
+// Property sweep over the degenerate-input policy of core/metrics.h: on
+// generated matrices biased toward zero-denominator corners, every metric
+// value is NaN, +inf or inside its declared range; the indeterminate-form
+// vs unbounded-ratio distinction holds; and the batch kernels reproduce
+// the scalar bits exactly. Runs under the smoke AND tsan labels so the
+// batch path also gets thread-sanitizer coverage.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/metrics.h"
+#include "stats/arena.h"
+#include "support/propgen.h"
+
+namespace vdbench::core {
+namespace {
+
+using testsupport::PropGen;
+
+constexpr std::size_t kCases = 256;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+EvalContext context_of(const ConfusionMatrix& cm) {
+  EvalContext ctx;
+  ctx.cm = cm;
+  return ctx;
+}
+
+// Aggressively degenerate generator: half the time zero out 1-3 cells on
+// top of PropGen's usual quarter-rate single-cell zeroing.
+ConfusionMatrix degenerate_confusion(PropGen& gen) {
+  ConfusionMatrix cm = gen.confusion(40);
+  if (gen.below(1) == 0) {
+    const std::uint64_t zeros = 1 + gen.below(2);
+    for (std::uint64_t z = 0; z < zeros; ++z) {
+      switch (gen.below(3)) {
+        case 0: cm.tp = 0; break;
+        case 1: cm.fp = 0; break;
+        case 2: cm.tn = 0; break;
+        default: cm.fn = 0; break;
+      }
+    }
+  }
+  return cm;
+}
+
+TEST(DegeneratePolicy, ValuesAreNanInfOrInDeclaredRange) {
+  PropGen gen = PropGen::from_current_test();
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const ConfusionMatrix cm = degenerate_confusion(gen);
+    const EvalContext ctx = context_of(cm);
+    for (const MetricId id : all_metrics()) {
+      const double v = compute_metric(id, ctx);
+      if (std::isnan(v)) continue;          // "no answer" is always legal
+      const MetricInfo& info = metric_info(id);
+      EXPECT_GE(v, info.range_lo - 1e-12) << info.key << " on "
+                                          << cm.to_string();
+      EXPECT_LE(v, info.range_hi + 1e-12) << info.key << " on "
+                                          << cm.to_string();
+      if (std::isinf(v)) {
+        // Only the unbounded ratios may diverge, and only to +inf.
+        EXPECT_GT(v, 0.0) << info.key << " on " << cm.to_string();
+        EXPECT_TRUE(id == MetricId::kLrPlus || id == MetricId::kLrMinus ||
+                    id == MetricId::kDiagnosticOddsRatio)
+            << info.key << " unexpectedly infinite on " << cm.to_string();
+      }
+    }
+  }
+}
+
+TEST(DegeneratePolicy, ZeroDenominatorRatesAreNanNotZero) {
+  PropGen gen = PropGen::from_current_test();
+  for (std::size_t i = 0; i < kCases; ++i) {
+    ConfusionMatrix cm = degenerate_confusion(gen);
+    // Rates over an empty class give no answer, never a fake 0 or 1.
+    cm.tp = 0;
+    cm.fn = 0;  // no actual positives
+    const EvalContext ctx = context_of(cm);
+    EXPECT_TRUE(std::isnan(compute_metric(MetricId::kRecall, ctx)))
+        << cm.to_string();
+    EXPECT_TRUE(std::isnan(compute_metric(MetricId::kFnRate, ctx)))
+        << cm.to_string();
+    cm = degenerate_confusion(gen);
+    cm.fp = 0;
+    cm.tn = 0;  // no actual negatives
+    const EvalContext ctx2 = context_of(cm);
+    EXPECT_TRUE(std::isnan(compute_metric(MetricId::kSpecificity, ctx2)))
+        << cm.to_string();
+    EXPECT_TRUE(std::isnan(compute_metric(MetricId::kFpRate, ctx2)))
+        << cm.to_string();
+  }
+}
+
+TEST(DegeneratePolicy, FFamilyIsZeroWhenPrecisionAndRecallAreBothZero) {
+  PropGen gen = PropGen::from_current_test();
+  for (std::size_t i = 0; i < kCases; ++i) {
+    ConfusionMatrix cm = degenerate_confusion(gen);
+    cm.tp = 0;
+    cm.fp = 1 + cm.fp;  // at least one report, all wrong
+    cm.fn = 1 + cm.fn;  // at least one missed vulnerability
+    const EvalContext ctx = context_of(cm);
+    for (const MetricId id :
+         {MetricId::kFMeasure, MetricId::kFHalf, MetricId::kF2}) {
+      EXPECT_EQ(compute_metric(id, ctx), 0.0)
+          << metric_info(id).key << " on " << cm.to_string();
+    }
+  }
+}
+
+TEST(DegeneratePolicy, BatchKernelsReproduceScalarBitsOnDegenerateGrid) {
+  PropGen gen = PropGen::from_current_test();
+  std::vector<EvalContext> contexts;
+  contexts.reserve(kCases);
+  for (std::size_t i = 0; i < kCases; ++i)
+    contexts.push_back(context_of(degenerate_confusion(gen)));
+
+  stats::Arena arena;
+  const ConfusionBatch batch = make_batch(contexts, arena);
+  const std::span<double> plane =
+      arena.allocate_span<double>(contexts.size() * kMetricCount);
+  BatchEvaluator(arena).evaluate_all(batch, plane);
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    const std::vector<double> scalar = compute_all_metrics(contexts[i]);
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      EXPECT_EQ(bits(plane[i * kMetricCount + m]), bits(scalar[m]))
+          << contexts[i].cm.to_string() << " metric "
+          << metric_info(all_metrics()[m]).key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vdbench::core

@@ -8,7 +8,11 @@
 // depends on which object files the linker decided to keep.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "cli/experiment.h"
+#include "stream/pipeline.h"
 #include "vdsim/workload.h"
 
 namespace vdbench::bench {
@@ -45,6 +49,8 @@ inline constexpr const char* kRender = "render";                     // e16
 inline constexpr const char* kBaseCorpusCohort = "base corpus cohort";
 inline constexpr const char* kLowPrevalenceCohort = "low-prevalence cohort";
 inline constexpr const char* kChecksum = "checksum";                 // probe
+inline constexpr const char* kStreamEvaluate = "stream evaluate";    // e18
+inline constexpr const char* kStreamMetrics = "checkpoint metrics";  // e18
 }  // namespace stage
 
 void register_e1(cli::ExperimentRegistry& registry);
@@ -64,6 +70,7 @@ void register_e14(cli::ExperimentRegistry& registry);
 void register_e15(cli::ExperimentRegistry& registry);
 void register_e16(cli::ExperimentRegistry& registry);
 void register_e17(cli::ExperimentRegistry& registry);
+void register_e18(cli::ExperimentRegistry& registry);
 
 /// "probe": a deliberately cheap 256-task parallel checksum used by the CI
 /// fault matrix and resilience tests as a drill target for `executor.task`
@@ -76,7 +83,14 @@ void register_probe(cli::ExperimentRegistry& registry);
 /// contract against it.
 [[nodiscard]] vdsim::WorkloadSpec e17_corpus_spec();
 
-/// The full study registry, E1–E17 in order.
+/// The stream E18 evaluates (full-size, 10^6 sites); exported so tests and
+/// the stream baseline binary run the identical configuration.
+[[nodiscard]] stream::StreamSpec e18_stream_spec();
+
+/// E18's workload-size checkpoints (one per decade).
+[[nodiscard]] std::vector<std::uint64_t> e18_checkpoints();
+
+/// The full study registry, E1–E18 in order.
 [[nodiscard]] cli::ExperimentRegistry study_registry();
 
 }  // namespace vdbench::bench

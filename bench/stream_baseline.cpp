@@ -1,0 +1,164 @@
+// Throughput/RSS baseline recorder for the streaming evaluation pipeline.
+//
+// Streams the E18 configuration at growing workload sizes (default
+// 10^4 → 10^7 candidate sites), recording sites/second and the process
+// peak RSS after each size into BENCH_stream.json. The flat RSS column is
+// the pipeline's headline property: workload size only moves wall clock,
+// never memory — the queue bound (queue_chunks * chunk_sites records) is
+// the whole working set.
+//
+// Modes:
+//   vdbench_stream_baseline --self-check    determinism gates (see below)
+//   vdbench_stream_baseline --json <path>   record the baseline file
+//   vdbench_stream_baseline --max-sites N   cap the sweep (CI uses 10^6)
+//
+// --self-check verifies, at a CI-friendly size:
+//   * chunk-size invariance: identical confusion counts for chunk_sites
+//     1024 / 8192 and queue depths 2 / 8;
+//   * prefix stability: a standalone 10^4-site stream equals the 10^4
+//     checkpoint of a 10^5-site stream, byte for byte.
+#include <cstdint>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiments.h"
+#include "report/json.h"
+#include "stream/pipeline.h"
+
+namespace {
+
+using namespace vdbench;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Peak resident set size in KiB from /proc/self/status (VmHWM); 0 when
+/// unavailable (non-Linux).
+std::uint64_t peak_rss_kib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::uint64_t kib = 0;
+      fields >> kib;
+      return kib;
+    }
+  }
+  return 0;
+}
+
+int self_check() {
+  stream::StreamSpec spec = bench::e18_stream_spec();
+  spec.total_sites = 100'000;
+
+  stream::StreamSpec coarse = spec;
+  coarse.chunk_sites = 8192;
+  coarse.queue_chunks = 8;
+  stream::StreamSpec fine = spec;
+  fine.chunk_sites = 1024;
+  fine.queue_chunks = 2;
+
+  const std::vector<std::uint64_t> checkpoints = {10'000};
+  const stream::StreamResult a = stream::stream_evaluate(coarse, checkpoints);
+  const stream::StreamResult b = stream::stream_evaluate(fine, checkpoints);
+  if (a.cm != b.cm || a.sites != b.sites) {
+    std::cerr << "FAIL: chunking changed the result: " << a.cm.to_string()
+              << " vs " << b.cm.to_string() << "\n";
+    return 1;
+  }
+
+  stream::StreamSpec small = spec;
+  small.total_sites = 10'000;
+  const stream::StreamResult standalone = stream::stream_evaluate(small);
+  if (a.checkpoints.size() != 1 ||
+      a.checkpoints[0].cm != standalone.cm ||
+      a.checkpoints[0].sites != standalone.sites) {
+    std::cerr << "FAIL: 10^4 checkpoint of the 10^5 stream differs from a "
+                 "standalone 10^4 stream\n";
+    return 1;
+  }
+
+  std::cout << "stream self-check OK: chunk-size invariance and prefix "
+               "stability hold at 10^5 sites ("
+            << a.cm.to_string() << ")\n";
+  return 0;
+}
+
+int record_json(const std::string& path, std::uint64_t max_sites) {
+  const stream::StreamSpec base = bench::e18_stream_spec();
+  report::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("stream");
+  json.key("chunk_sites").value(static_cast<std::uint64_t>(base.chunk_sites));
+  json.key("queue_chunks")
+      .value(static_cast<std::uint64_t>(base.queue_chunks));
+  json.key("sweep").begin_array();
+  for (std::uint64_t sites = 10'000; sites <= max_sites; sites *= 10) {
+    stream::StreamSpec spec = base;
+    spec.total_sites = sites;
+    const double start = now_seconds();
+    const stream::StreamResult result = stream::stream_evaluate(spec);
+    const double seconds = now_seconds() - start;
+    const std::uint64_t rss = peak_rss_kib();
+    json.begin_object();
+    json.key("sites").value(sites);
+    json.key("seconds").value(seconds);
+    json.key("sites_per_second")
+        .value(seconds > 0.0 ? static_cast<double>(sites) / seconds : 0.0);
+    json.key("peak_rss_kib").value(rss);
+    json.key("chunks").value(result.chunks);
+    json.key("backpressure_waits").value(result.backpressure_waits);
+    json.key("tp").value(result.cm.tp);
+    json.key("fp").value(result.cm.fp);
+    json.key("tn").value(result.cm.tn);
+    json.key("fn").value(result.cm.fn);
+    json.end_object();
+    std::cout << sites << " sites: " << seconds << "s, peak RSS " << rss
+              << " KiB\n";
+  }
+  json.end_array();
+  json.end_object();
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::uint64_t max_sites = 10'000'000;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-check") {
+      check = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--max-sites" && i + 1 < argc) {
+      max_sites = std::stoull(argv[++i]);
+    } else {
+      std::cerr << "usage: vdbench_stream_baseline [--self-check] "
+                   "[--json PATH] [--max-sites N]\n";
+      return 2;
+    }
+  }
+  if (check) return self_check();
+  if (!json_path.empty()) return record_json(json_path, max_sites);
+  std::cerr << "nothing to do: pass --self-check or --json PATH\n";
+  return 2;
+}

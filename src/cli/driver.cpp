@@ -13,6 +13,7 @@
 #include <sstream>
 #include <thread>
 
+#include "cache/hash.h"
 #include "fault/injector.h"
 #include "obs/profile.h"
 #include "obs/registry.h"
@@ -22,6 +23,7 @@
 #include "report/table.h"
 #include "stats/env.h"
 #include "stats/parallel.h"
+#include "stream/report_log.h"
 
 namespace vdbench::cli {
 
@@ -70,6 +72,14 @@ options:
                        every experiment (default: vdbench_manifest.json;
                        empty string disables)
   --artifact-dir PATH  directory for experiment artifact files (default: .)
+  --record-log PATH    record streaming experiments' produced chunks into a
+                       checksummed binary report log (skips cache lookups
+                       for those experiments so the log is always produced)
+  --replay-log PATH    source streaming experiments' chunks from a recorded
+                       report log instead of generating them; the replayed
+                       run's exports are byte-identical to the recorded
+                       run's at any thread count (mutually exclusive with
+                       --record-log)
   --min-hit-rate R     fail the run when the cacheable hit rate is < R
                        (CI warm-cache assertion; default: disabled)
   --quiet              suppress experiment report text
@@ -372,10 +382,12 @@ void injected_hang() {
 // shares no state with its predecessors, which is what makes a retried
 // result byte-identical to a first-try one.
 AttemptOutcome run_body(const Experiment& experiment,
-                        stats::StageTimer& timer) {
+                        stats::StageTimer& timer,
+                        const ExperimentContext::StreamRun& stream) {
   AttemptOutcome result;
   std::ostringstream capture;
   ExperimentContext context(capture, timer);
+  context.stream = stream;
   try {
     switch (fault::Injector::global().hit("experiment.body", experiment.id)) {
       case fault::Action::kThrow:
@@ -416,9 +428,9 @@ AttemptOutcome run_body(const Experiment& experiment,
 // stats::Cancelled. The attempt is always joined — results of a cancelled
 // body are discarded, so partial state can never leak into a retry.
 AttemptOutcome execute_attempt(const Experiment& experiment,
-                               double timeout_sec,
-                               stats::StageTimer& timer) {
-  if (timeout_sec <= 0.0) return run_body(experiment, timer);
+                               double timeout_sec, stats::StageTimer& timer,
+                               const ExperimentContext::StreamRun& stream) {
+  if (timeout_sec <= 0.0) return run_body(experiment, timer, stream);
 
   stats::CancellationToken token;
   stats::ScopedCancellationToken install(&token);
@@ -427,7 +439,7 @@ AttemptOutcome execute_attempt(const Experiment& experiment,
   bool finished = false;
   AttemptOutcome result;
   std::thread runner([&] {
-    AttemptOutcome attempt = run_body(experiment, timer);
+    AttemptOutcome attempt = run_body(experiment, timer, stream);
     {
       std::lock_guard<std::mutex> lock(mutex);
       result = std::move(attempt);
@@ -635,6 +647,12 @@ std::optional<DriverOptions> parse_args(int argc, const char* const* argv,
     } else if (flag_matches(arg, "--resume")) {
       if (!take_value(i, "--resume", value)) return std::nullopt;
       options.resume_path = value;
+    } else if (flag_matches(arg, "--record-log")) {
+      if (!take_value(i, "--record-log", value)) return std::nullopt;
+      options.record_log = value;
+    } else if (flag_matches(arg, "--replay-log")) {
+      if (!take_value(i, "--replay-log", value)) return std::nullopt;
+      options.replay_log = value;
     } else if (flag_matches(arg, "--artifact-dir")) {
       if (!take_value(i, "--artifact-dir", value)) return std::nullopt;
       options.artifact_dir = value;
@@ -707,6 +725,10 @@ std::optional<DriverOptions> parse_args(int argc, const char* const* argv,
       return std::nullopt;
     }
   }
+  if (!options.record_log.empty() && !options.replay_log.empty()) {
+    err << "vdbench: --record-log and --replay-log are mutually exclusive\n";
+    return std::nullopt;
+  }
   return options;
 }
 
@@ -775,6 +797,23 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
     return nullptr;
   };
 
+  // Digest the replay log before anything runs: an unreadable or damaged
+  // log is a usage error, not something to discover mid-study. The digest
+  // joins every streaming experiment's cache key, so replays of two
+  // different logs can never serve each other's cached results.
+  std::uint64_t replay_digest = 0;
+  if (!options.replay_log.empty()) {
+    try {
+      replay_digest = stream::file_digest(options.replay_log);
+    } catch (const std::exception& e) {
+      out << "vdbench: cannot read --replay-log '" << options.replay_log
+          << "': " << e.what() << "\n";
+      run.exit_code = kExitUsage;
+      if (!options.trace_out.empty()) obs::Tracer::global().stop();
+      return run;
+    }
+  }
+
   if (options.threads > 0) stats::set_global_threads(options.threads);
   const std::size_t threads = stats::global_executor().thread_count();
   obs::Registry::global().set(obs::Gauge::kThreads,
@@ -815,8 +854,16 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
 
   for (const Experiment* experiment : selected) {
     const obs::Span experiment_span("driver.experiment", experiment->id);
-    const cache::CacheKey key{experiment->id, experiment->config,
-                              options.study_seed, kEngineSchemaVersion};
+    ExperimentContext::StreamRun stream_run;
+    std::string key_config = experiment->config;
+    if (experiment->streaming) {
+      stream_run.record_log = options.record_log;
+      stream_run.replay_log = options.replay_log;
+      if (!options.replay_log.empty())
+        key_config += "|replay=" + cache::to_hex64(replay_digest);
+    }
+    const cache::CacheKey key{experiment->id, key_config, options.study_seed,
+                              kEngineSchemaVersion};
     ExperimentOutcome outcome;
     outcome.id = experiment->id;
     outcome.key_hex = key.hex();
@@ -836,8 +883,12 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
     // degrades to recompute, never to a run failure.
     std::optional<DecodedPayload> replay;
     std::string payload;
+    // While recording, a streaming experiment must actually run — a cache
+    // hit would replay the text but skip producing the log.
+    const bool recording =
+        experiment->streaming && !options.record_log.empty();
     const bool lookup = result_cache.has_value() && experiment->cacheable &&
-                        !options.refresh;
+                        !options.refresh && !recording;
     if (lookup) {
       try {
         if (std::optional<std::string> cached =
@@ -882,7 +933,7 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
         {
           const obs::Span attempt_span("driver.attempt", experiment->id);
           attempt = execute_attempt(*experiment, options.timeout_sec,
-                                    attempt_timer);
+                                    attempt_timer, stream_run);
         }
         const double attempt_seconds = seconds_between(
             attempt_start, std::chrono::steady_clock::now());

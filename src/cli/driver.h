@@ -87,6 +87,15 @@ struct DriverOptions {
   /// there), failed or missing ones run again, and the prior attempts'
   /// timings carry into the new manifest. Empty = fresh run.
   std::string resume_path;
+  /// Record every streaming experiment's produced chunks into this report
+  /// log (--record-log). Recording skips cache lookups for streaming
+  /// experiments so the log is always actually produced. Empty = off.
+  std::string record_log;
+  /// Source streaming experiments' chunks from this recorded log instead
+  /// of generating them (--replay-log). The log's content digest joins the
+  /// cache key, so replays of different logs can never alias. Mutually
+  /// exclusive with record_log. Empty = off.
+  std::string replay_log;
   /// Study seed baked into the experiments; becomes part of every cache
   /// key so a seed change can never serve stale results.
   std::uint64_t study_seed = 0;

@@ -41,9 +41,20 @@ struct ExperimentContext {
   ExperimentContext(std::ostream& out_stream, stats::StageTimer& stage_timer)
       : out(out_stream), timer(stage_timer) {}
 
+  /// Record/replay endpoints for streaming experiments, filled by the
+  /// driver from --record-log / --replay-log. At most one is non-empty.
+  /// Non-streaming experiments must ignore this block; the paths stay out
+  /// of experiment output so recorded and replayed runs export
+  /// byte-identically.
+  struct StreamRun {
+    std::string record_log;  ///< append the produced stream to this log
+    std::string replay_log;  ///< source the stream from this log
+  };
+
   std::ostream& out;
   stats::StageTimer& timer;
   std::vector<Artifact> artifacts;
+  StreamRun stream;
 
   void add_artifact(std::string name, std::string content) {
     artifacts.push_back({std::move(name), std::move(content)});
@@ -69,6 +80,11 @@ struct Experiment {
   /// excluded from the "all" selection.
   bool cacheable = true;
   std::function<void(ExperimentContext&)> run;
+  /// True for experiments built on the streaming pipeline (src/stream).
+  /// Only these consult ExperimentContext::stream; for them the driver
+  /// folds the replay log's content digest into the cache key and skips
+  /// cache lookups while recording (a hit would skip log production).
+  bool streaming = false;
 };
 
 /// Ordered collection of experiments; ids are unique.

@@ -12,9 +12,9 @@ namespace vdbench::fault {
 
 namespace {
 
-constexpr std::array<std::string_view, 5> kKnownPoints = {
-    "cache.read", "cache.write", "experiment.body", "executor.task",
-    "manifest.write"};
+constexpr std::array<std::string_view, 7> kKnownPoints = {
+    "cache.read",     "cache.write",    "experiment.body", "executor.task",
+    "manifest.write", "stream.produce", "stream.consume"};
 
 std::string_view trim(std::string_view text) {
   while (!text.empty() &&

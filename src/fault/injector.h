@@ -10,6 +10,8 @@
 //   experiment.body   driver attempt loop    (key = experiment id)
 //   executor.task     ParallelExecutor tasks (key = decimal task index)
 //   manifest.write    driver manifest writes (no key)
+//   stream.produce    streaming-pipeline producer (key = decimal chunk index)
+//   stream.consume    streaming-pipeline consumer (key = decimal chunk index)
 //
 // A schedule is armed from a spec string (the `VDBENCH_FAULTS` environment
 // variable for the vdbench binary; `Injector::arm` in tests):

@@ -21,6 +21,13 @@ std::string_view counter_name(Counter counter) noexcept {
     case Counter::kFaultFires: return "fault.fires";
     case Counter::kManifestWrites: return "manifest.writes";
     case Counter::kTraceEvents: return "trace.events";
+    case Counter::kStreamChunksProduced: return "stream.chunks.produced";
+    case Counter::kStreamChunksConsumed: return "stream.chunks.consumed";
+    case Counter::kStreamSites: return "stream.sites";
+    case Counter::kStreamBackpressureWaits: return "stream.backpressure.waits";
+    case Counter::kLogBytesWritten: return "log.bytes.written";
+    case Counter::kLogBytesRead: return "log.bytes.read";
+    case Counter::kLogCorruptions: return "log.corruptions";
   }
   return "unknown";
 }

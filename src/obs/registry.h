@@ -44,8 +44,15 @@ enum class Counter : std::size_t {
   kFaultFires,         ///< fault-injector rules that fired
   kManifestWrites,     ///< run-manifest publications
   kTraceEvents,        ///< trace events recorded (0 whenever tracing is off)
+  kStreamChunksProduced,     ///< chunks the streaming producer emitted
+  kStreamChunksConsumed,     ///< chunks folded into confusion counts
+  kStreamSites,              ///< site records evaluated through the stream
+  kStreamBackpressureWaits,  ///< blocking episodes a full chunk queue imposed
+  kLogBytesWritten,          ///< report-log bytes recorded
+  kLogBytesRead,             ///< report-log bytes replayed
+  kLogCorruptions,           ///< report-log frames rejected as corrupt
 };
-inline constexpr std::size_t kCounterCount = 15;
+inline constexpr std::size_t kCounterCount = 22;
 
 /// Point-in-time values (last write wins; no aggregation).
 enum class Gauge : std::size_t {

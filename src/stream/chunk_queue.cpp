@@ -1,0 +1,94 @@
+#include "stream/chunk_queue.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/registry.h"
+#include "stats/parallel.h"
+
+namespace vdbench::stream {
+
+namespace {
+
+// Coarse poll interval for the cooperative cancellation check while parked
+// on a condition variable. Wakeups at this rate are bookkeeping, not a
+// spin: between polls the thread is blocked in the kernel.
+constexpr std::chrono::milliseconds kCancelPoll{20};
+
+}  // namespace
+
+ChunkQueue::ChunkQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("ChunkQueue: capacity must be >= 1");
+}
+
+bool ChunkQueue::push(ReportChunk chunk) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_ || error_)
+    throw std::logic_error("ChunkQueue::push after close/fail");
+  if (chunks_.size() >= capacity_ && !abandoned_) {
+    // One episode per blocking push, however many condvar wakeups it takes.
+    ++backpressure_waits_;
+    obs::count(obs::Counter::kStreamBackpressureWaits);
+    while (chunks_.size() >= capacity_ && !abandoned_) {
+      if (stats::cancellation_requested()) throw stats::Cancelled();
+      not_full_.wait_for(lock, kCancelPoll);
+    }
+  }
+  if (abandoned_) return false;
+  chunks_.push_back(std::move(chunk));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<ReportChunk> ChunkQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (error_) std::rethrow_exception(error_);
+    if (!chunks_.empty()) {
+      ReportChunk chunk = std::move(chunks_.front());
+      chunks_.pop_front();
+      lock.unlock();
+      not_full_.notify_one();
+      return chunk;
+    }
+    if (closed_) return std::nullopt;
+    if (stats::cancellation_requested()) throw stats::Cancelled();
+    not_empty_.wait_for(lock, kCancelPoll);
+  }
+}
+
+void ChunkQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+void ChunkQueue::fail(std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    error_ = std::move(error);
+    closed_ = true;
+    // A failed stream's partial results must never be consumed.
+    chunks_.clear();
+  }
+  not_empty_.notify_all();
+}
+
+void ChunkQueue::abandon() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    abandoned_ = true;
+  }
+  not_full_.notify_all();
+}
+
+std::uint64_t ChunkQueue::backpressure_waits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backpressure_waits_;
+}
+
+}  // namespace vdbench::stream

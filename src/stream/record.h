@@ -1,0 +1,91 @@
+// Streamed site records: the unit of data flowing through the streaming
+// evaluation pipeline (src/stream/pipeline.h).
+//
+// One SiteRecord is the fully matched view of one candidate analysis site:
+// its ground truth (which vulnerability class is seeded there, if any) and
+// one tool's verdict (which class the tool claimed there, if any). That is
+// exactly the information the confusion-matrix algebra needs, so a stream
+// of SiteRecords can be folded into a core::ConfusionMatrix chunk by chunk
+// in constant memory — no workload or report set is ever materialised.
+//
+// The encoding is a fixed 10-byte little-endian layout per record,
+// independent of host endianness and padding, so a recorded report log
+// replays byte-identically on any platform (see report_log.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/confusion.h"
+
+namespace vdbench::stream {
+
+/// Sentinel for "no vulnerability seeded at this site".
+inline constexpr std::uint8_t kCleanSite = 0xFF;
+/// Sentinel for "the tool reported nothing at this site".
+inline constexpr std::uint8_t kNoFinding = 0xFF;
+
+/// One candidate site: ground truth plus one tool's verdict, pre-matched.
+/// `truth` and `claimed` hold a vdsim::vuln_class_index value or the
+/// sentinel above.
+struct SiteRecord {
+  std::uint32_t service = 0;  ///< owning service index
+  std::uint32_t site = 0;     ///< site index within the service
+  std::uint8_t truth = kCleanSite;
+  std::uint8_t claimed = kNoFinding;
+
+  friend bool operator==(const SiteRecord&, const SiteRecord&) = default;
+};
+
+/// Encoded size of one SiteRecord.
+inline constexpr std::size_t kRecordBytes = 10;
+
+/// A fixed-size batch of site records travelling through the pipeline.
+/// `first_site` is the global ordinal of records[0] in the whole stream,
+/// so consumers can place checkpoints without extra bookkeeping.
+struct ReportChunk {
+  std::uint64_t first_site = 0;
+  std::vector<SiteRecord> records;
+
+  friend bool operator==(const ReportChunk&, const ReportChunk&) = default;
+};
+
+/// Fold one record into the running confusion counts, under the runner's
+/// matching policy (vdsim/runner.h): a verdict claiming the seeded class is
+/// a TP; a wrong-class verdict on a vulnerable site is a FP *and* leaves
+/// the vulnerability missed (FN); any verdict on a clean site is a FP;
+/// silence is a FN on vulnerable sites and a TN on clean ones.
+inline void accumulate(const SiteRecord& record,
+                       core::ConfusionMatrix& cm) noexcept {
+  if (record.truth != kCleanSite) {
+    if (record.claimed == record.truth) {
+      ++cm.tp;
+    } else if (record.claimed == kNoFinding) {
+      ++cm.fn;
+    } else {
+      ++cm.fp;
+      ++cm.fn;
+    }
+  } else {
+    if (record.claimed == kNoFinding)
+      ++cm.tn;
+    else
+      ++cm.fp;
+  }
+}
+
+/// Fold a whole chunk.
+void accumulate(const ReportChunk& chunk, core::ConfusionMatrix& cm) noexcept;
+
+/// Serialize records into the fixed little-endian layout (kRecordBytes per
+/// record), appended to `out`.
+void encode_records(const std::vector<SiteRecord>& records, std::string& out);
+
+/// Parse encode_records output. Returns false when `bytes` is not a whole
+/// number of records; `out` is cleared first.
+[[nodiscard]] bool decode_records(std::string_view bytes,
+                                  std::vector<SiteRecord>& out);
+
+}  // namespace vdbench::stream

@@ -80,7 +80,8 @@ bool is_documented_name(const std::string& name) {
       bench::stage::kWeightSensitivity, bench::stage::kPresetSummary,
       bench::stage::kPerClassDetail, bench::stage::kRender,
       bench::stage::kBaseCorpusCohort, bench::stage::kLowPrevalenceCohort,
-      bench::stage::kChecksum};
+      bench::stage::kChecksum, bench::stage::kStreamEvaluate,
+      bench::stage::kStreamMetrics, "stream.produce", "stream.consume"};
   if (kExact.count(name) != 0) return true;
   static const std::vector<std::string> kPrefixes = {
       bench::stage::kStage2Prefix, bench::stage::kGridPrevalencePrefix,

@@ -1,0 +1,138 @@
+// ChunkQueue contract tests: FIFO delivery, bounded backpressure without
+// spinning, the close/fail/abandon shutdown protocol, and cooperative
+// cancellation. Lives in the parallel test binary so the tsan label runs
+// the producer/consumer handshakes under the race detector.
+#include "stream/chunk_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "stats/parallel.h"
+
+namespace vdbench::stream {
+namespace {
+
+ReportChunk make_chunk(std::uint64_t first_site, std::size_t records) {
+  ReportChunk chunk;
+  chunk.first_site = first_site;
+  for (std::size_t i = 0; i < records; ++i) {
+    SiteRecord rec;
+    rec.service = static_cast<std::uint32_t>(first_site);
+    rec.site = static_cast<std::uint32_t>(i);
+    chunk.records.push_back(rec);
+  }
+  return chunk;
+}
+
+TEST(ChunkQueueTest, ZeroCapacityThrows) {
+  EXPECT_THROW(ChunkQueue(0), std::invalid_argument);
+}
+
+TEST(ChunkQueueTest, DeliversInFifoOrderAndDrainsAfterClose) {
+  ChunkQueue queue(4);
+  ASSERT_TRUE(queue.push(make_chunk(0, 2)));
+  ASSERT_TRUE(queue.push(make_chunk(2, 2)));
+  ASSERT_TRUE(queue.push(make_chunk(4, 1)));
+  queue.close();
+
+  std::optional<ReportChunk> chunk = queue.pop();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->first_site, 0u);
+  chunk = queue.pop();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->first_site, 2u);
+  chunk = queue.pop();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->first_site, 4u);
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_FALSE(queue.pop().has_value());  // stays drained
+}
+
+TEST(ChunkQueueTest, PushAfterCloseIsALogicError) {
+  ChunkQueue queue(2);
+  queue.close();
+  EXPECT_THROW((void)queue.push(make_chunk(0, 1)), std::logic_error);
+}
+
+TEST(ChunkQueueTest, SlowConsumerBlocksProducerWithoutSpinning) {
+  // Capacity 1 and a consumer that sleeps before each pop: every push
+  // after the first must block. The no-spin contract is observable in the
+  // episode counter — one increment per blocking push, NOT one per
+  // condvar wakeup — so a spinning implementation would blow far past the
+  // chunk count.
+  constexpr std::uint64_t kChunks = 6;
+  ChunkQueue queue(1);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kChunks; ++i)
+      ASSERT_TRUE(queue.push(make_chunk(i, 1)));
+    queue.close();
+  });
+  std::uint64_t consumed = 0;
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const std::optional<ReportChunk> chunk = queue.pop();
+    if (!chunk.has_value()) break;
+    EXPECT_EQ(chunk->first_site, consumed);
+    ++consumed;
+  }
+  producer.join();
+  EXPECT_EQ(consumed, kChunks);
+  EXPECT_GE(queue.backpressure_waits(), 1u);
+  EXPECT_LE(queue.backpressure_waits(), kChunks);
+}
+
+TEST(ChunkQueueTest, FailRethrowsOriginalTypeAndDiscardsQueuedChunks) {
+  ChunkQueue queue(4);
+  ASSERT_TRUE(queue.push(make_chunk(0, 1)));
+  queue.fail(std::make_exception_ptr(std::range_error("producer died")));
+  // The queued chunk must NOT be served first: a failed stream's partial
+  // results are poison.
+  EXPECT_THROW((void)queue.pop(), std::range_error);
+}
+
+TEST(ChunkQueueTest, AbandonReleasesABlockedProducer) {
+  ChunkQueue queue(1);
+  ASSERT_TRUE(queue.push(make_chunk(0, 1)));  // queue now full
+  std::atomic<int> outcome{-1};
+  std::thread producer([&] {
+    outcome = queue.push(make_chunk(1, 1)) ? 1 : 0;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(outcome.load(), -1);  // still blocked
+  queue.abandon();
+  producer.join();
+  EXPECT_EQ(outcome.load(), 0);  // returned false, chunk dropped
+  // Future pushes return false immediately.
+  EXPECT_FALSE(queue.push(make_chunk(2, 1)));
+}
+
+TEST(ChunkQueueTest, CancellationUnblocksAWaitingConsumer) {
+  stats::CancellationToken token;
+  stats::ScopedCancellationToken install(&token);
+  ChunkQueue queue(2);
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.request_cancel();
+  });
+  EXPECT_THROW((void)queue.pop(), stats::Cancelled);
+  canceller.join();
+}
+
+TEST(ChunkQueueTest, CancellationUnblocksABlockedProducer) {
+  stats::CancellationToken token;
+  stats::ScopedCancellationToken install(&token);
+  ChunkQueue queue(1);
+  ASSERT_TRUE(queue.push(make_chunk(0, 1)));
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.request_cancel();
+  });
+  EXPECT_THROW((void)queue.push(make_chunk(1, 1)), stats::Cancelled);
+  canceller.join();
+}
+
+}  // namespace
+}  // namespace vdbench::stream

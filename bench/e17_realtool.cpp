@@ -91,8 +91,8 @@ std::size_t contract_mismatches(const vdsim::Workload& workload,
   for (const vdsim::Service& service : workload.services()) {
     for (const vdsim::VulnInstance& v : service.vulns) {
       const bool expected = sast::expected_detected(v, config);
-      const bool actual = detected.count(
-                              {v.service_index, v.site_index, v.vuln_class}) > 0;
+      const bool actual =
+          detected.contains({v.service_index, v.site_index, v.vuln_class});
       if (expected != actual) ++mismatches;
     }
   }

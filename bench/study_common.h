@@ -14,6 +14,7 @@
 #include "core/properties.h"
 #include "core/scenario.h"
 #include "core/selection.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 #include "stats/rng.h"
 
@@ -62,7 +63,7 @@ inline std::string stage2_fingerprint() {
 
 /// Run stage 1 for the whole catalogue.
 inline std::vector<core::MetricAssessment> run_stage1() {
-  const obs::Span span("study.stage1");
+  const obs::Span span(obs::names::kStudyStage1);
   stats::Rng rng(kStudySeed);
   return core::PropertyAssessor(full_assessment_config()).assess_all(rng);
 }
@@ -70,7 +71,7 @@ inline std::vector<core::MetricAssessment> run_stage1() {
 /// Run stage 2 for one scenario over all ranking metrics.
 inline std::vector<core::EffectivenessResult> run_stage2(
     const core::Scenario& scenario) {
-  const obs::Span span("study.stage2", scenario.key);
+  const obs::Span span(obs::names::kStudyStage2, scenario.key);
   stats::Rng rng = stats::Rng(kStudySeed).split(
       std::hash<std::string>{}(scenario.key));
   return core::ScenarioAnalyzer(full_analyzer_config())

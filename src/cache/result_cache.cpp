@@ -10,6 +10,7 @@
 
 #include "cache/hash.h"
 #include "fault/injector.h"
+#include "obs/names.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "stats/env.h"
@@ -130,7 +131,7 @@ ResultCache::ResultCache(Config config) : config_(std::move(config)) {
 
 std::optional<std::string> ResultCache::fetch(const CacheKey& key,
                                               std::uint64_t now) {
-  const obs::Span span("cache.fetch", key.experiment_id);
+  const obs::Span span(obs::names::kCacheFetch, key.experiment_id);
   // Fault hook `cache.read` (key = experiment id): io_error behaves like an
   // unreadable file (plain miss, entry left intact); corrupt/truncate mangle
   // the bytes in flight so the checksum/validation recovery path runs for
@@ -170,7 +171,7 @@ std::optional<std::string> ResultCache::fetch(const CacheKey& key,
     ++stats_.misses;
     obs::count(obs::Counter::kCacheCorruptions);
     obs::count(obs::Counter::kCacheMisses);
-    obs::instant("cache.corrupt", key.experiment_id);
+    obs::instant(obs::names::kCacheCorrupt, key.experiment_id);
     erase_entry(digest, false);
     std::error_code ec;
     std::filesystem::remove(path, ec);
@@ -195,7 +196,7 @@ std::optional<std::string> ResultCache::fetch(const CacheKey& key,
 
 bool ResultCache::store(const CacheKey& key, std::string_view payload,
                         std::uint64_t now) {
-  const obs::Span span("cache.store", key.experiment_id);
+  const obs::Span span(obs::names::kCacheStore, key.experiment_id);
   // Fault hook `cache.write` (key = experiment id): io_error simulates
   // ENOSPC (a failed store — the atomic discipline guarantees no partial
   // file either way); corrupt/truncate persist a damaged entry so the next

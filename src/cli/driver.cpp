@@ -15,6 +15,8 @@
 
 #include "cache/hash.h"
 #include "fault/injector.h"
+#include "obs/clock.h"
+#include "obs/names.h"
 #include "obs/profile.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -198,7 +200,7 @@ bool write_manifest(const std::string& path, const RunOutcome& run,
                     const obs::CounterSnapshot& telemetry_baseline,
                     std::uint64_t generated_at, std::size_t threads,
                     std::size_t selected, bool complete) {
-  const obs::Span span("driver.manifest");
+  const obs::Span span(obs::names::kDriverManifest);
   if (fault::Injector::global().hit("manifest.write") !=
       fault::Action::kNone)
     return false;
@@ -309,7 +311,7 @@ bool write_json_export(const std::string& path,
                        const std::vector<std::string>& payloads,
                        const std::vector<const ExperimentOutcome*>& failures,
                        std::uint64_t study_seed) {
-  const obs::Span span("driver.export");
+  const obs::Span span(obs::names::kDriverExport);
   report::JsonWriter json;
   json.begin_object();
   json.field("schema", static_cast<std::uint64_t>(kEngineSchemaVersion));
@@ -772,7 +774,7 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
 
   std::vector<std::pair<std::string, PriorRecord>> prior_records;
   if (!options.resume_path.empty()) {
-    const obs::Span resume_span("driver.resume", options.resume_path);
+    const obs::Span resume_span(obs::names::kDriverResume, options.resume_path);
     std::optional<std::vector<std::pair<std::string, PriorRecord>>> loaded =
         load_resume_manifest(options.resume_path);
     if (!loaded) {
@@ -819,13 +821,11 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
   obs::Registry::global().set(obs::Gauge::kThreads,
                               static_cast<std::uint64_t>(threads));
 
+  // Wall-clock reads live in src/obs (vdlint vdl-wallclock): the driver
+  // only timestamps cache recency, which is never byte-compared.
   const std::function<std::uint64_t()> clock =
-      options.clock ? options.clock : []() {
-        return static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::seconds>(
-                std::chrono::system_clock::now().time_since_epoch())
-                .count());
-      };
+      options.clock ? options.clock
+                    : std::function<std::uint64_t()>(obs::wall_clock_seconds);
 
   const std::filesystem::path cache_dir =
       cache::ResultCache::resolve_dir(options.cache_dir);
@@ -853,7 +853,7 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
   bool aborted_fail_fast = false;
 
   for (const Experiment* experiment : selected) {
-    const obs::Span experiment_span("driver.experiment", experiment->id);
+    const obs::Span experiment_span(obs::names::kDriverExperiment, experiment->id);
     ExperimentContext::StreamRun stream_run;
     std::string key_config = experiment->config;
     if (experiment->streaming) {
@@ -908,7 +908,7 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
     if (replay) {
       outcome.source = ExperimentOutcome::Source::kCacheHit;
       {
-        const auto scope = timer.scope("cache replay");
+        const auto scope = timer.scope(obs::names::kPhaseCacheReplay);
         if (!options.quiet) out << replay->text;
         write_artifacts(replay->artifacts, options.artifact_dir, out);
       }
@@ -931,7 +931,7 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
         stats::StageTimer attempt_timer;
         const auto attempt_start = std::chrono::steady_clock::now();
         {
-          const obs::Span attempt_span("driver.attempt", experiment->id);
+          const obs::Span attempt_span(obs::names::kDriverAttempt, experiment->id);
           attempt = execute_attempt(*experiment, options.timeout_sec,
                                     attempt_timer, stream_run);
         }
@@ -963,7 +963,7 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
         write_artifacts(attempt.artifacts, options.artifact_dir, out);
         if (result_cache.has_value() && experiment->cacheable) {
           outcome.source = ExperimentOutcome::Source::kComputed;
-          const auto scope = timer.scope("cache store");
+          const auto scope = timer.scope(obs::names::kPhaseCacheStore);
           try {
             if (!result_cache->store(key, payload, outcome.timestamp))
               out << "warning: could not persist cache entry\n";

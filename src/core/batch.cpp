@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/names.h"
 #include "obs/trace.h"
 
 namespace vdbench::core {
@@ -423,7 +424,7 @@ void BatchEvaluator::evaluate_metric(MetricId id, const ConfusionBatch& batch,
     throw std::invalid_argument(
         "BatchEvaluator::evaluate_metric: out.size() != batch.size");
   if (batch.size == 0) return;
-  const obs::Span span("batch.evaluate_metric");
+  const obs::Span span(obs::names::kBatchEvaluateMetric);
   // Reuse the rate planes across calls on the same batch (keyed by array
   // identity): a multi-metric sweep fills each plane once, not per metric.
   if (batch.tp != cached_key_ || batch.size != cached_size_) {
@@ -441,7 +442,7 @@ void BatchEvaluator::evaluate_all(const ConfusionBatch& batch,
     throw std::invalid_argument(
         "BatchEvaluator::evaluate_all: out.size() != size * kMetricCount");
   if (batch.size == 0) return;
-  const obs::Span span("batch.evaluate_all");
+  const obs::Span span(obs::names::kBatchEvaluateAll);
   const std::span<const MetricId> ids = all_metrics();
   // Tile the batch so each tile's rate planes and its kMetricCount-strided
   // output rows stay cache-resident across all 32 kernel sweeps; values

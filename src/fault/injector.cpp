@@ -1,20 +1,17 @@
 #include "fault/injector.h"
 
 #include <algorithm>
-#include <array>
+#include <iterator>
 #include <cctype>
 #include <cstdlib>
 
+#include "obs/names.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace vdbench::fault {
 
 namespace {
-
-constexpr std::array<std::string_view, 7> kKnownPoints = {
-    "cache.read",     "cache.write",    "experiment.body", "executor.task",
-    "manifest.write", "stream.produce", "stream.consume"};
 
 std::string_view trim(std::string_view text) {
   while (!text.empty() &&
@@ -59,8 +56,8 @@ FaultRule parse_clause(std::string_view clause) {
   const std::size_t eq = clause.find('=');
   if (eq == std::string_view::npos) bad_spec(clause, "missing '='");
   const std::string_view point = trim(clause.substr(0, eq));
-  if (std::find(kKnownPoints.begin(), kKnownPoints.end(), point) ==
-      kKnownPoints.end())
+  if (std::find(std::begin(kKnownPoints), std::end(kKnownPoints), point) ==
+      std::end(kKnownPoints))
     bad_spec(clause, "unknown point '" + std::string(point) + "'");
   rule.point = std::string(point);
 
@@ -116,7 +113,7 @@ std::vector<FaultRule> Injector::parse(std::string_view spec) {
 
 void Injector::arm(std::string_view spec) {
   std::vector<FaultRule> rules = parse(spec);  // may throw; state untouched
-  std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   rules_ = std::move(rules);
   total_fired_.store(0, std::memory_order_relaxed);
   armed_.store(!rules_.empty(), std::memory_order_relaxed);
@@ -130,14 +127,14 @@ bool Injector::arm_from_env() {
 }
 
 void Injector::disarm() noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   rules_.clear();
   armed_.store(false, std::memory_order_relaxed);
 }
 
 Action Injector::hit(std::string_view point, std::string_view key) {
   if (!armed()) return Action::kNone;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   Action result = Action::kNone;
   for (FaultRule& rule : rules_) {
     if (rule.point != point) continue;
@@ -156,7 +153,7 @@ Action Injector::hit(std::string_view point, std::string_view key) {
     // Every firing is observable: the run manifest's telemetry counts it
     // and a trace shows exactly where inside the study the fault landed.
     obs::count(obs::Counter::kFaultFires);
-    obs::instant("fault.fire", std::string(point) + "=" +
+    obs::instant(obs::names::kFaultFire, std::string(point) + "=" +
                                    std::string(action_name(result)) +
                                    (key.empty() ? std::string()
                                                 : "@" + std::string(key)));
@@ -169,7 +166,7 @@ std::uint64_t Injector::total_fired() const noexcept {
 }
 
 std::vector<FaultRule> Injector::rules() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   return rules_;
 }
 

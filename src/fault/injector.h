@@ -39,13 +39,22 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/thread_annotations.h"
+
 namespace vdbench::fault {
+
+/// Every registered injection-point name, in canonical order. This table is
+/// the single spelling authority: arm() validates specs against it, and the
+/// vdlint `vdl-fault-point` rule parses it out of this header to reject any
+/// hit("...") call site naming an unregistered point.
+inline constexpr const char* kKnownPoints[] = {
+    "cache.read",     "cache.write",    "experiment.body", "executor.task",
+    "manifest.write", "stream.produce", "stream.consume"};
 
 /// What a firing rule asks the call site to simulate.
 enum class Action {
@@ -126,8 +135,8 @@ class Injector {
 
  private:
   std::atomic<bool> armed_{false};
-  mutable std::mutex mutex_;
-  std::vector<FaultRule> rules_;
+  mutable core::Mutex mutex_;
+  std::vector<FaultRule> rules_ VDBENCH_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> total_fired_{0};
 };
 

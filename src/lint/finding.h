@@ -1,0 +1,38 @@
+// The vdlint finding record: one contract violation at one source
+// location. Mirrors sast::RuleFinding in spirit, but over the repo's own
+// C++ sources instead of the mini-language corpus.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace vdbench::lint {
+
+enum class Severity : int {
+  kWarning,
+  kError,
+};
+
+[[nodiscard]] constexpr const char* severity_name(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+struct Finding {
+  std::string file;  ///< root-relative path, '/'-separated
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string rule;  ///< rule id, e.g. "vdl-rand"
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+/// Deterministic report order: path, then line, column, rule, message.
+[[nodiscard]] inline bool finding_order(const Finding& a, const Finding& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.column != b.column) return a.column < b.column;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+}  // namespace vdbench::lint

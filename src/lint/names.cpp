@@ -1,0 +1,120 @@
+#include "lint/names.h"
+
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+#include <string_view>
+
+#include "lint/scanner.h"
+
+namespace vdbench::lint {
+namespace {
+
+std::string read_file_or_throw(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("vdlint: cannot read name table " +
+                             path.string());
+  return {std::istreambuf_iterator<char>(in), {}};
+}
+
+bool is_punct(const CppToken& token, std::string_view text) {
+  return token.type == CppTokenType::kPunct && token.text == text;
+}
+
+// Collect every `kSomething = "literal"` constant initializer. Array
+// aggregates like kAllSpans list identifiers, not literals, so they are
+// naturally skipped.
+void collect_named_constants(
+    const std::vector<CppToken>& tokens,
+    const std::function<void(const std::string&, const std::string&)>& sink) {
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    const CppToken& name = tokens[i];
+    if (name.type != CppTokenType::kIdentifier || name.text.empty() ||
+        name.text[0] != 'k')
+      continue;
+    if (!is_punct(tokens[i + 1], "=")) continue;
+    if (tokens[i + 2].type != CppTokenType::kString) continue;
+    sink(name.text, tokens[i + 2].text);
+  }
+}
+
+void load_span_names(const std::filesystem::path& header, NameTables& out) {
+  const std::string source = read_file_or_throw(header);
+  const std::vector<CppToken> tokens = scan_cpp(source);
+  collect_named_constants(tokens,
+                          [&out](const std::string&, const std::string& value) {
+                            out.span_names.insert(value);
+                          });
+  if (out.span_names.empty())
+    throw std::runtime_error("vdlint: no span names parsed from " +
+                             header.string());
+}
+
+void load_fault_points(const std::filesystem::path& header, NameTables& out) {
+  const std::string source = read_file_or_throw(header);
+  const std::vector<CppToken> tokens = scan_cpp(source);
+  // The table is the brace-enclosed initializer of kKnownPoints: collect
+  // every string literal between that identifier and the closing ';'.
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].type != CppTokenType::kIdentifier ||
+        tokens[i].text != "kKnownPoints")
+      continue;
+    for (std::size_t j = i + 1;
+         j < tokens.size() && !is_punct(tokens[j], ";"); ++j) {
+      if (tokens[j].type == CppTokenType::kString)
+        out.fault_points.insert(tokens[j].text);
+    }
+    break;
+  }
+  if (out.fault_points.empty())
+    throw std::runtime_error("vdlint: no fault points parsed from " +
+                             header.string());
+}
+
+void load_stage_names(const std::filesystem::path& header, NameTables& out) {
+  const std::string source = read_file_or_throw(header);
+  const std::vector<CppToken> tokens = scan_cpp(source);
+  // Find `namespace stage {` and walk to its matching close brace.
+  std::size_t i = 0;
+  for (; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].type == CppTokenType::kIdentifier &&
+        tokens[i].text == "namespace" &&
+        tokens[i + 1].type == CppTokenType::kIdentifier &&
+        tokens[i + 1].text == "stage" && is_punct(tokens[i + 2], "{"))
+      break;
+  }
+  if (i + 2 >= tokens.size())
+    throw std::runtime_error("vdlint: no `namespace stage` in " +
+                             header.string());
+  int depth = 0;
+  std::size_t end = i + 2;
+  for (; end < tokens.size(); ++end) {
+    if (is_punct(tokens[end], "{")) ++depth;
+    if (is_punct(tokens[end], "}") && --depth == 0) break;
+  }
+  std::vector<CppToken> body(tokens.begin() + static_cast<std::ptrdiff_t>(i),
+                             tokens.begin() + static_cast<std::ptrdiff_t>(end));
+  collect_named_constants(
+      body, [&out](const std::string& name, const std::string& value) {
+        if (name.size() > 6 && name.ends_with("Prefix"))
+          out.stage_prefixes.push_back(value);
+        else
+          out.stage_names.insert(value);
+      });
+  if (out.stage_names.empty())
+    throw std::runtime_error("vdlint: no stage labels parsed from " +
+                             header.string());
+}
+
+}  // namespace
+
+NameTables load_name_tables(const std::filesystem::path& repo_root) {
+  NameTables tables;
+  load_span_names(repo_root / "src" / "obs" / "names.h", tables);
+  load_fault_points(repo_root / "src" / "fault" / "injector.h", tables);
+  load_stage_names(repo_root / "bench" / "experiments.h", tables);
+  return tables;
+}
+
+}  // namespace vdbench::lint

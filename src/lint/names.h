@@ -1,0 +1,37 @@
+// Name tables for the registry-backed vdlint rules.
+//
+// vdbench keeps single spelling authorities for its observability and
+// fault-injection vocabularies: span names in src/obs/names.h, fault
+// points in src/fault/injector.h (kKnownPoints), stage/phase labels in
+// bench/experiments.h (namespace stage). Rather than duplicate those lists
+// here — where they would rot — vdlint re-parses the defining headers with
+// its own scanner at startup. A name added to a header is enforceable on
+// the next lint run with no linter change; a table the linter cannot find
+// is a hard error, never a silently-empty set.
+#pragma once
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vdbench::lint {
+
+struct NameTables {
+  /// Registered span/instant names (obs/names.h kAllSpans constants).
+  std::set<std::string> span_names;
+  /// Registered fault-injection points (fault/injector.h kKnownPoints).
+  std::set<std::string> fault_points;
+  /// Exact stage labels (bench/experiments.h namespace stage values).
+  std::set<std::string> stage_names;
+  /// Parameterised stage label prefixes (stage constants named *Prefix).
+  std::vector<std::string> stage_prefixes;
+};
+
+/// Parse the three defining headers under `repo_root`. Throws
+/// std::runtime_error when a header is missing or yields an empty table —
+/// an empty authority would make every registry rule vacuously pass.
+[[nodiscard]] NameTables load_name_tables(
+    const std::filesystem::path& repo_root);
+
+}  // namespace vdbench::lint

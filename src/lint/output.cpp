@@ -1,0 +1,124 @@
+#include "lint/output.h"
+
+#include <sstream>
+
+#include "report/json.h"
+
+namespace vdbench::lint {
+namespace {
+
+constexpr const char* kToolName = "vdlint";
+constexpr const char* kToolVersion = "1.0.0";
+
+void write_rule_inventory(report::JsonWriter& json,
+                          const RuleRegistry& registry) {
+  json.key("rules").begin_array();
+  for (const LintRule& rule : registry.rules()) {
+    json.begin_object()
+        .field("id", rule.id)
+        .field("severity", severity_name(rule.severity))
+        .field("summary", rule.summary)
+        .end_object();
+  }
+  json.end_array();
+}
+
+}  // namespace
+
+std::string render_human(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& finding : findings) {
+    out << finding.file << ':' << finding.line << ':' << finding.column
+        << ": " << severity_name(finding.severity) << ": " << finding.message
+        << " [" << finding.rule << "]\n";
+  }
+  if (findings.empty())
+    out << "vdlint: clean\n";
+  else
+    out << "vdlint: " << findings.size()
+        << (findings.size() == 1 ? " finding\n" : " findings\n");
+  return out.str();
+}
+
+std::string render_json(const std::vector<Finding>& findings,
+                        const RuleRegistry& registry) {
+  report::JsonWriter json;
+  json.begin_object()
+      .field("tool", kToolName)
+      .field("version", kToolVersion);
+  write_rule_inventory(json, registry);
+  json.key("findings").begin_array();
+  for (const Finding& finding : findings) {
+    json.begin_object()
+        .field("file", finding.file)
+        .field("line", static_cast<std::uint64_t>(finding.line))
+        .field("column", static_cast<std::uint64_t>(finding.column))
+        .field("rule", finding.rule)
+        .field("severity", severity_name(finding.severity))
+        .field("message", finding.message)
+        .end_object();
+  }
+  json.end_array();
+  json.field("count", static_cast<std::uint64_t>(findings.size()));
+  json.end_object();
+  return json.str() + "\n";
+}
+
+std::string render_sarif(const std::vector<Finding>& findings,
+                         const RuleRegistry& registry) {
+  report::JsonWriter json;
+  json.begin_object()
+      .field("$schema", "https://json.schemastore.org/sarif-2.1.0.json")
+      .field("version", "2.1.0");
+  json.key("runs").begin_array().begin_object();
+
+  json.key("tool").begin_object().key("driver").begin_object();
+  json.field("name", kToolName).field("version", kToolVersion);
+  json.key("rules").begin_array();
+  for (const LintRule& rule : registry.rules()) {
+    json.begin_object().field("id", rule.id);
+    json.key("shortDescription")
+        .begin_object()
+        .field("text", rule.summary)
+        .end_object();
+    json.key("defaultConfiguration")
+        .begin_object()
+        .field("level", severity_name(rule.severity))
+        .end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object().end_object();  // driver, tool
+
+  json.key("results").begin_array();
+  for (const Finding& finding : findings) {
+    json.begin_object()
+        .field("ruleId", finding.rule)
+        .field("level", severity_name(finding.severity));
+    json.key("message")
+        .begin_object()
+        .field("text", finding.message)
+        .end_object();
+    json.key("locations").begin_array().begin_object();
+    json.key("physicalLocation").begin_object();
+    json.key("artifactLocation")
+        .begin_object()
+        .field("uri", finding.file)
+        .end_object();
+    json.key("region")
+        .begin_object()
+        .field("startLine", static_cast<std::uint64_t>(finding.line))
+        .field("startColumn", static_cast<std::uint64_t>(finding.column))
+        .end_object();
+    json.end_object();  // physicalLocation
+    json.end_object().end_array();  // location, locations
+    json.end_object();  // result
+  }
+  json.end_array();
+
+  json.end_object().end_array();  // run, runs
+  json.end_object();
+  return json.str() + "\n";
+}
+
+}  // namespace vdbench::lint

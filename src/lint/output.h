@@ -1,0 +1,31 @@
+// vdlint report rendering: human text, JSON, and a minimal SARIF 2.1.0
+// document.
+//
+// All three renderers are deterministic functions of the (already sorted)
+// finding list and the rule registry — no timestamps, hostnames, or
+// absolute paths — so two runs over the same tree produce byte-identical
+// reports. The SARIF output doubles as the reference fixture for the
+// planned SARIF reader (see EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/finding.h"
+#include "lint/rules.h"
+
+namespace vdbench::lint {
+
+/// `file:line:col: severity: message [rule]` lines plus a summary line.
+[[nodiscard]] std::string render_human(const std::vector<Finding>& findings);
+
+/// Compact machine-readable document: tool, rule inventory, findings.
+[[nodiscard]] std::string render_json(const std::vector<Finding>& findings,
+                                      const RuleRegistry& registry);
+
+/// Minimal SARIF 2.1.0: one run, tool.driver with the rule inventory,
+/// one result per finding with a physicalLocation.
+[[nodiscard]] std::string render_sarif(const std::vector<Finding>& findings,
+                                       const RuleRegistry& registry);
+
+}  // namespace vdbench::lint

@@ -1,0 +1,259 @@
+#include "lint/scanner.h"
+
+#include <cctype>
+
+namespace vdbench::lint {
+namespace {
+
+bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// Encoding prefixes that may precede a string or char literal: u8, u, U, L
+// and their raw-string forms. Returns the prefix length when the identifier
+// at [start, end) is one of them and is immediately followed by a quote (or
+// R" for raw strings); 0 otherwise.
+bool is_literal_prefix(std::string_view ident) noexcept {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L" ||
+         ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+class CppScanner {
+ public:
+  explicit CppScanner(std::string_view source) : cursor_(source) {}
+
+  std::vector<CppToken> run() {
+    while (!cursor_.at_end()) {
+      const char c = cursor_.peek();
+      if (c == '\n' || c == '\r' || c == ' ' || c == '\t' || c == '\f' ||
+          c == '\v') {
+        cursor_.advance();
+        if (c == '\n') line_has_code_ = false;
+        continue;
+      }
+      start_pos_ = cursor_.pos();
+      start_line_ = cursor_.line();
+      start_column_ = cursor_.column();
+      if (c == '/' && cursor_.peek(1) == '/') {
+        scan_line_comment();
+      } else if (c == '/' && cursor_.peek(1) == '*') {
+        scan_block_comment();
+      } else if (c == '#' && !line_has_code_) {
+        scan_directive();
+      } else if (c == '"') {
+        cursor_.advance();
+        scan_string();
+      } else if (c == '\'') {
+        cursor_.advance();
+        scan_char_literal();
+      } else if (is_ident_start(c)) {
+        scan_identifier_or_prefixed_literal();
+      } else if (is_digit(c) || (c == '.' && is_digit(cursor_.peek(1)))) {
+        scan_number();
+      } else {
+        scan_punct();
+      }
+    }
+    emit(CppTokenType::kEndOfFile, "");
+    return std::move(tokens_);
+  }
+
+ private:
+  void emit(CppTokenType type, std::string text) {
+    tokens_.push_back(
+        {type, std::move(text), start_line_, start_column_});
+    if (type != CppTokenType::kComment) line_has_code_ = true;
+  }
+
+  void scan_line_comment() {
+    while (!cursor_.at_end() && cursor_.peek() != '\n') cursor_.advance();
+    emit(CppTokenType::kComment,
+         std::string(cursor_.slice(start_pos_, cursor_.pos())));
+  }
+
+  void scan_block_comment() {
+    cursor_.advance();  // '/'
+    cursor_.advance();  // '*'
+    while (!cursor_.at_end()) {
+      if (cursor_.peek() == '*' && cursor_.peek(1) == '/') {
+        cursor_.advance();
+        cursor_.advance();
+        break;
+      }
+      cursor_.advance();
+    }
+    // Unterminated comments simply end at EOF.
+    emit(CppTokenType::kComment,
+         std::string(cursor_.slice(start_pos_, cursor_.pos())));
+  }
+
+  void scan_directive() {
+    cursor_.advance();  // '#'
+    const std::size_t body_start = cursor_.pos();
+    // Directives extend across backslash-continued lines.
+    while (!cursor_.at_end()) {
+      const char c = cursor_.peek();
+      if (c == '\n') {
+        break;
+      }
+      if (c == '\\' && (cursor_.peek(1) == '\n' ||
+                        (cursor_.peek(1) == '\r' && cursor_.peek(2) == '\n'))) {
+        cursor_.advance();
+        if (cursor_.peek() == '\r') cursor_.advance();
+        cursor_.advance();
+        continue;
+      }
+      if (c == '/' && cursor_.peek(1) == '/') break;
+      cursor_.advance();
+    }
+    emit(CppTokenType::kDirective,
+         std::string(cursor_.slice(body_start, cursor_.pos())));
+  }
+
+  void scan_string() {
+    const std::size_t body_start = cursor_.pos();
+    while (!cursor_.at_end() && cursor_.peek() != '"' &&
+           cursor_.peek() != '\n') {
+      if (cursor_.peek() == '\\' && !cursor_.at_end()) cursor_.advance();
+      if (!cursor_.at_end()) cursor_.advance();
+    }
+    const std::size_t body_end = cursor_.pos();
+    if (cursor_.peek() == '"') cursor_.advance();
+    // Unterminated strings end at EOL/EOF; a linter reports, never throws.
+    emit(CppTokenType::kString,
+         std::string(cursor_.slice(body_start, body_end)));
+  }
+
+  void scan_char_literal() {
+    const std::size_t body_start = cursor_.pos();
+    while (!cursor_.at_end() && cursor_.peek() != '\'' &&
+           cursor_.peek() != '\n') {
+      if (cursor_.peek() == '\\' && !cursor_.at_end()) cursor_.advance();
+      if (!cursor_.at_end()) cursor_.advance();
+    }
+    const std::size_t body_end = cursor_.pos();
+    if (cursor_.peek() == '\'') cursor_.advance();
+    emit(CppTokenType::kCharLiteral,
+         std::string(cursor_.slice(body_start, body_end)));
+  }
+
+  void scan_raw_string() {
+    // At entry the cursor sits on the opening '"' of R"delim( ... )delim".
+    cursor_.advance();  // '"'
+    std::string delim;
+    while (!cursor_.at_end() && cursor_.peek() != '(' &&
+           cursor_.peek() != '\n' && delim.size() < 16) {
+      delim.push_back(cursor_.advance());
+    }
+    if (cursor_.peek() == '(') cursor_.advance();
+    const std::size_t body_start = cursor_.pos();
+    const std::string closer = ")" + delim + "\"";
+    std::size_t body_end = cursor_.pos();
+    while (!cursor_.at_end()) {
+      if (cursor_.peek() == ')') {
+        bool match = true;
+        for (std::size_t i = 0; i < closer.size(); ++i) {
+          if (cursor_.peek(i) != closer[i]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          body_end = cursor_.pos();
+          for (std::size_t i = 0; i < closer.size(); ++i) cursor_.advance();
+          emit(CppTokenType::kString,
+               std::string(cursor_.slice(body_start, body_end)));
+          return;
+        }
+      }
+      cursor_.advance();
+    }
+    // Unterminated raw string: the whole tail is the contents.
+    emit(CppTokenType::kString,
+         std::string(cursor_.slice(body_start, cursor_.pos())));
+  }
+
+  void scan_identifier_or_prefixed_literal() {
+    while (is_ident_char(cursor_.peek())) cursor_.advance();
+    const std::string_view ident = cursor_.slice(start_pos_, cursor_.pos());
+    if (is_literal_prefix(ident)) {
+      if (cursor_.peek() == '"') {
+        if (ident.back() == 'R') {
+          scan_raw_string();
+        } else {
+          cursor_.advance();
+          scan_string();
+        }
+        return;
+      }
+      if (cursor_.peek() == '\'' && ident.back() != 'R') {
+        cursor_.advance();
+        scan_char_literal();
+        return;
+      }
+    }
+    emit(CppTokenType::kIdentifier, std::string(ident));
+  }
+
+  void scan_number() {
+    // pp-number: digits, identifier chars, '.', quotes as digit separators,
+    // and sign characters after an exponent marker.
+    while (!cursor_.at_end()) {
+      const char c = cursor_.peek();
+      if (is_ident_char(c) || c == '.') {
+        cursor_.advance();
+        continue;
+      }
+      if (c == '\'' && is_ident_char(cursor_.peek(1))) {
+        cursor_.advance();
+        continue;
+      }
+      if ((c == '+' || c == '-') && cursor_.pos() > start_pos_) {
+        const char prev = cursor_.slice(cursor_.pos() - 1, cursor_.pos())[0];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          cursor_.advance();
+          continue;
+        }
+      }
+      break;
+    }
+    emit(CppTokenType::kNumber,
+         std::string(cursor_.slice(start_pos_, cursor_.pos())));
+  }
+
+  void scan_punct() {
+    const char c = cursor_.advance();
+    if ((c == ':' && cursor_.peek() == ':') ||
+        (c == '-' && cursor_.peek() == '>')) {
+      cursor_.advance();
+    }
+    emit(CppTokenType::kPunct,
+         std::string(cursor_.slice(start_pos_, cursor_.pos())));
+  }
+
+  SourceCursor cursor_;
+  std::vector<CppToken> tokens_;
+  std::size_t start_pos_ = 0;
+  std::size_t start_line_ = 1;
+  std::size_t start_column_ = 1;
+  // True once any non-comment token appeared on the current line; '#' only
+  // opens a directive at the start of a line (modulo whitespace/comments).
+  bool line_has_code_ = false;
+};
+
+}  // namespace
+
+std::vector<CppToken> scan_cpp(std::string_view source) {
+  return CppScanner(source).run();
+}
+
+}  // namespace vdbench::lint

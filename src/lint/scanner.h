@@ -1,0 +1,91 @@
+// Reusable token scanner: the character-cursor core shared with the
+// MiniSAST lexer, plus a tolerant C++ surface scanner for vdlint.
+//
+// SourceCursor is the extraction of the position/line bookkeeping that
+// sast/lexer.cpp grew first — one definition of "what is a line" (LF
+// terminates, CR is whitespace, so CRLF sources count identically) shared
+// by both front ends, so the mini-language tokenisation that E17's
+// byte-identity depends on and the self-analysis pass can never drift
+// apart silently.
+//
+// scan_cpp() tokenises C++ well enough for contract linting: identifiers,
+// numbers, string/char literals (escapes, encoding prefixes, raw strings),
+// comments (kept — suppressions live there), preprocessor directives
+// (kept — include hygiene reads them), and punctuation ("::" and "->"
+// combined, everything else single-char). It is deliberately tolerant: an
+// unterminated literal or comment ends at EOF/EOL instead of throwing,
+// because a linter must report on malformed input, not crash on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdbench::lint {
+
+/// Character cursor with line/column bookkeeping. advance() is the only
+/// mutator, so every consumer counts lines the same way.
+class SourceCursor {
+ public:
+  explicit SourceCursor(std::string_view source) : source_(source) {}
+
+  [[nodiscard]] bool at_end() const noexcept {
+    return pos_ >= source_.size();
+  }
+  /// Character `ahead` positions past the cursor, or '\0' past the end.
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  /// Consume and return one character; bumps the line counter on '\n'.
+  char advance() noexcept {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      line_start_ = pos_;
+    }
+    return c;
+  }
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  /// 1-based column of the cursor within the current line.
+  [[nodiscard]] std::size_t column() const noexcept {
+    return pos_ - line_start_ + 1;
+  }
+  [[nodiscard]] std::string_view slice(std::size_t from,
+                                       std::size_t to) const noexcept {
+    return source_.substr(from, to - from);
+  }
+
+ private:
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
+};
+
+enum class CppTokenType : std::uint8_t {
+  kIdentifier,  ///< identifiers and keywords, `thread_local` included
+  kNumber,      ///< pp-number (digits, exponents, separators)
+  kString,      ///< text = contents between the quotes, escapes verbatim
+  kCharLiteral, ///< text = contents between the single quotes
+  kPunct,       ///< "::" and "->" combined, otherwise one character
+  kComment,     ///< full text including the // or /* */ markers
+  kDirective,   ///< preprocessor line, text without the leading '#'
+  kEndOfFile,
+};
+
+struct CppToken {
+  CppTokenType type = CppTokenType::kEndOfFile;
+  std::string text;
+  std::size_t line = 1;    ///< line the token starts on
+  std::size_t column = 1;  ///< 1-based column the token starts at
+};
+
+/// Tokenise `source` as C++ surface syntax. Never throws; the final token
+/// is always kEndOfFile.
+[[nodiscard]] std::vector<CppToken> scan_cpp(std::string_view source);
+
+}  // namespace vdbench::lint

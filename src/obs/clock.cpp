@@ -1,0 +1,14 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace vdbench::obs {
+
+std::uint64_t wall_clock_seconds() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace vdbench::obs

@@ -1,0 +1,19 @@
+// The one place the harness reads the wall clock.
+//
+// vdbench's determinism contract (enforced by the vdlint `vdl-wallclock`
+// rule) bans std::chrono::system_clock outside src/obs: wall-clock time is
+// an observability concern, never an input to computation. The two
+// legitimate consumers — the driver's cache-recency timestamps (never
+// byte-compared) and trace metadata — go through this helper, so the rest
+// of the library stays clock-free by construction.
+#pragma once
+
+#include <cstdint>
+
+namespace vdbench::obs {
+
+/// Seconds since the Unix epoch. Monotonicity is NOT guaranteed (the wall
+/// clock can step); use stats/timer.h for durations.
+[[nodiscard]] std::uint64_t wall_clock_seconds() noexcept;
+
+}  // namespace vdbench::obs

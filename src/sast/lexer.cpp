@@ -2,9 +2,13 @@
 
 #include <cctype>
 
+#include "lint/scanner.h"
+
 namespace vdbench::sast {
 
 namespace {
+
+using lint::SourceCursor;
 
 bool is_ident_start(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -36,30 +40,28 @@ std::string_view token_type_name(TokenType type) {
   return "?";
 }
 
+// The mini-language lexer runs on the same SourceCursor as vdlint's C++
+// scanner (lint/scanner.h), so both front ends share one definition of
+// line counting — '\n' terminates a line, '\r' is plain whitespace.
 std::vector<Token> lex(std::string_view source) {
   std::vector<Token> tokens;
-  std::size_t line = 1;
-  std::size_t i = 0;
-  const std::size_t n = source.size();
-  while (i < n) {
-    const char c = source[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r') {
-      ++i;
+  SourceCursor cursor(source);
+  while (!cursor.at_end()) {
+    const char c = cursor.peek();
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r') {
+      cursor.advance();
       continue;
     }
     if (c == '#') {  // comment to end of line
-      while (i < n && source[i] != '\n') ++i;
+      while (!cursor.at_end() && cursor.peek() != '\n') cursor.advance();
       continue;
     }
+    const std::size_t line = cursor.line();
     if (is_ident_start(c)) {
-      const std::size_t start = i;
-      while (i < n && is_ident_char(source[i])) ++i;
-      std::string word(source.substr(start, i - start));
+      const std::size_t start = cursor.pos();
+      while (!cursor.at_end() && is_ident_char(cursor.peek()))
+        cursor.advance();
+      std::string word(cursor.slice(start, cursor.pos()));
       TokenType type = TokenType::kIdent;
       if (word == "fn")
         type = TokenType::kFn;
@@ -71,23 +73,25 @@ std::vector<Token> lex(std::string_view source) {
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      const std::size_t start = i;
-      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
-      tokens.push_back(
-          {TokenType::kNumber, std::string(source.substr(start, i - start)),
-           line});
+      const std::size_t start = cursor.pos();
+      while (!cursor.at_end() &&
+             std::isdigit(static_cast<unsigned char>(cursor.peek())) != 0)
+        cursor.advance();
+      tokens.push_back({TokenType::kNumber,
+                        std::string(cursor.slice(start, cursor.pos())), line});
       continue;
     }
     if (c == '"') {
-      const std::size_t start = ++i;
-      while (i < n && source[i] != '"' && source[i] != '\n') ++i;
-      if (i >= n || source[i] != '"')
+      cursor.advance();
+      const std::size_t start = cursor.pos();
+      while (!cursor.at_end() && cursor.peek() != '"' && cursor.peek() != '\n')
+        cursor.advance();
+      if (cursor.at_end() || cursor.peek() != '"')
         throw LexError("line " + std::to_string(line) +
                        ": unterminated string literal");
-      tokens.push_back(
-          {TokenType::kString, std::string(source.substr(start, i - start)),
-           line});
-      ++i;  // closing quote
+      tokens.push_back({TokenType::kString,
+                        std::string(cursor.slice(start, cursor.pos())), line});
+      cursor.advance();  // closing quote
       continue;
     }
     TokenType type;
@@ -104,9 +108,9 @@ std::vector<Token> lex(std::string_view source) {
                        ": unexpected character '" + std::string(1, c) + "'");
     }
     tokens.push_back({type, std::string(), line});
-    ++i;
+    cursor.advance();
   }
-  tokens.push_back({TokenType::kEndOfFile, std::string(), line});
+  tokens.push_back({TokenType::kEndOfFile, std::string(), cursor.line()});
   return tokens;
 }
 

@@ -1,6 +1,7 @@
 #include "stats/parallel.h"
 
 #include "fault/injector.h"
+#include "obs/names.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "stats/env.h"
@@ -51,7 +52,7 @@ void injected_stall() {
 // atomic load (the span site) plus one relaxed fetch_add (the
 // tasks.executed counter) when observability is disarmed.
 void run_task(const std::function<void(std::size_t)>& fn, std::size_t i) {
-  const obs::Span span("executor.task");
+  const obs::Span span(obs::names::kExecutorTask);
   fault::Injector& injector = fault::Injector::global();
   if (injector.armed()) {
     switch (injector.hit("executor.task", std::to_string(i))) {
@@ -154,7 +155,7 @@ struct ParallelExecutor::Impl {
     for (std::size_t i = claim(self); i != kNoTask; i = claim(self)) {
       if (cancellation_requested()) {
         obs::count(obs::Counter::kTasksCancelled);
-        obs::instant("executor.cancel");
+        obs::instant(obs::names::kExecutorCancel);
         break;
       }
       try {
@@ -234,7 +235,7 @@ void ParallelExecutor::parallel_for_indexed(
     for (std::size_t i = 0; i < n; ++i) {
       if (cancellation_requested()) {
         obs::count(obs::Counter::kTasksCancelled);
-        obs::instant("executor.cancel");
+        obs::instant(obs::names::kExecutorCancel);
         break;
       }
       try {

@@ -23,7 +23,7 @@ ChunkQueue::ChunkQueue(std::size_t capacity) : capacity_(capacity) {
 }
 
 bool ChunkQueue::push(ReportChunk chunk) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   if (closed_ || error_)
     throw std::logic_error("ChunkQueue::push after close/fail");
   if (chunks_.size() >= capacity_ && !abandoned_) {
@@ -43,7 +43,7 @@ bool ChunkQueue::push(ReportChunk chunk) {
 }
 
 std::optional<ReportChunk> ChunkQueue::pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   while (true) {
     if (error_) std::rethrow_exception(error_);
     if (!chunks_.empty()) {
@@ -61,7 +61,7 @@ std::optional<ReportChunk> ChunkQueue::pop() {
 
 void ChunkQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     closed_ = true;
   }
   not_empty_.notify_all();
@@ -69,7 +69,7 @@ void ChunkQueue::close() {
 
 void ChunkQueue::fail(std::exception_ptr error) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     error_ = std::move(error);
     closed_ = true;
     // A failed stream's partial results must never be consumed.
@@ -80,14 +80,14 @@ void ChunkQueue::fail(std::exception_ptr error) {
 
 void ChunkQueue::abandon() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     abandoned_ = true;
   }
   not_full_.notify_all();
 }
 
 std::uint64_t ChunkQueue::backpressure_waits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   return backpressure_waits_;
 }
 

@@ -24,9 +24,9 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <optional>
 
+#include "core/thread_annotations.h"
 #include "stream/record.h"
 
 namespace vdbench::stream {
@@ -70,14 +70,17 @@ class ChunkQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<ReportChunk> chunks_;
-  bool closed_ = false;
-  bool abandoned_ = false;
-  std::exception_ptr error_;
-  std::uint64_t backpressure_waits_ = 0;
+  // Locking contract is compiler-checked under clang -Wthread-safety: every
+  // guarded member below may only be touched while mutex_ is held (the
+  // condition variables park on a core::MutexLock, which is BasicLockable).
+  mutable core::Mutex mutex_;
+  std::condition_variable_any not_full_;
+  std::condition_variable_any not_empty_;
+  std::deque<ReportChunk> chunks_ VDBENCH_GUARDED_BY(mutex_);
+  bool closed_ VDBENCH_GUARDED_BY(mutex_) = false;
+  bool abandoned_ VDBENCH_GUARDED_BY(mutex_) = false;
+  std::exception_ptr error_ VDBENCH_GUARDED_BY(mutex_);
+  std::uint64_t backpressure_waits_ VDBENCH_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace vdbench::stream

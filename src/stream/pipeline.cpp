@@ -9,6 +9,7 @@
 
 #include "cache/hash.h"
 #include "fault/injector.h"
+#include "obs/names.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "stats/parallel.h"
@@ -63,7 +64,7 @@ std::uint64_t generate_chunks(const StreamSpec& spec, ChunkQueue& queue,
 
   // Returns false when the consumer abandoned the queue (stop producing).
   const auto flush = [&]() -> bool {
-    const obs::Span span("stream.produce", std::to_string(chunk_index));
+    const obs::Span span(obs::names::kStreamProduce, std::to_string(chunk_index));
     maybe_inject("stream.produce", chunk_index);
     if (record != nullptr) record->append(chunk);
     const std::uint64_t next_first = chunk.first_site + chunk.records.size();
@@ -132,7 +133,7 @@ std::uint64_t replay_chunks(const StreamSpec& spec, ChunkQueue& queue,
     const LogFrame* peeked = reader.peek();
     if (peeked == nullptr || peeked->kind == LogFrame::Kind::kSegment) break;
     frame = reader.next();
-    const obs::Span span("stream.produce", std::to_string(chunk_index));
+    const obs::Span span(obs::names::kStreamProduce, std::to_string(chunk_index));
     maybe_inject("stream.produce", chunk_index);
     sites += frame->chunk.records.size();
     if (!queue.push(std::move(frame->chunk))) return chunk_index;
@@ -159,7 +160,7 @@ StreamResult consume_chunks(ChunkQueue& queue,
     ++next_cp;
   }
   while (std::optional<ReportChunk> chunk = queue.pop()) {
-    const obs::Span span("stream.consume", std::to_string(result.chunks));
+    const obs::Span span(obs::names::kStreamConsume, std::to_string(result.chunks));
     maybe_inject("stream.consume", result.chunks);
     const std::uint64_t end = result.sites + chunk->records.size();
     if (next_cp < checkpoints.size() && checkpoints[next_cp] <= end) {

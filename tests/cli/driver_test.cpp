@@ -26,6 +26,7 @@ ExperimentRegistry toy_registry() {
   ExperimentRegistry registry;
   registry.add({"t1", "writes a line", "toy{n=1}", true,
                 [](ExperimentContext& ctx) {
+                  // vdlint:allow(vdl-phase-literal)
                   const auto scope = ctx.timer.scope("compute");
                   ctx.out << "t1 report line\n";
                 }});

@@ -19,6 +19,7 @@
 #include "cli/driver.h"
 #include "cli/experiment.h"
 #include "experiments.h"
+#include "obs/names.h"
 #include "obs/registry.h"
 #include "report/json_reader.h"
 
@@ -61,15 +62,12 @@ class TraceGoldenTest : public ::testing::Test {
   std::uint64_t tick_ = 0;
 };
 
-// Fixed span names the instrumentation emits, plus the stage:: constants;
+// The span-name registry (obs/names.h) plus the stage:: constants;
 // prefixes cover the parameterised phase labels ("stage 2: s1_default").
 bool is_documented_name(const std::string& name) {
   static const std::set<std::string> kExact = {
-      "driver.experiment", "driver.attempt", "driver.manifest",
-      "driver.export", "driver.resume", "executor.task", "executor.cancel",
-      "cache.fetch", "cache.store", "cache.corrupt", "cache replay",
-      "cache store", "fault.fire", "study.stage1", "study.stage2",
-      "batch.evaluate_metric", "batch.evaluate_all",
+      std::begin(obs::names::kAllSpans), std::end(obs::names::kAllSpans)};
+  static const std::set<std::string> kStages = {
       bench::stage::kCatalogue, bench::stage::kStage1Assessment,
       bench::stage::kStage2Validation, bench::stage::kPrevalenceSweep,
       bench::stage::kGenerateWorkload, bench::stage::kGenerateWorkloads,
@@ -81,8 +79,8 @@ bool is_documented_name(const std::string& name) {
       bench::stage::kPerClassDetail, bench::stage::kRender,
       bench::stage::kBaseCorpusCohort, bench::stage::kLowPrevalenceCohort,
       bench::stage::kChecksum, bench::stage::kStreamEvaluate,
-      bench::stage::kStreamMetrics, "stream.produce", "stream.consume"};
-  if (kExact.count(name) != 0) return true;
+      bench::stage::kStreamMetrics};
+  if (kExact.contains(name) || kStages.contains(name)) return true;
   static const std::vector<std::string> kPrefixes = {
       bench::stage::kStage2Prefix, bench::stage::kGridPrevalencePrefix,
       bench::stage::kPairAnalysisPrefix, bench::stage::kPowerGridPrefix};
@@ -199,6 +197,7 @@ TEST_F(TraceGoldenTest, JsonExportStaysByteIdenticalWarmVsCold) {
   ExperimentRegistry registry;
   registry.add({"t1", "writes a line", "toy{n=1}", true,
                 [](ExperimentContext& ctx) {
+                  // vdlint:allow(vdl-phase-literal)
                   const auto scope = ctx.timer.scope("compute");
                   ctx.out << "t1 report line\n";
                   ctx.add_artifact("t1_data.json", "{\"v\":1}\n");

@@ -106,7 +106,7 @@ TEST(E17AcceptanceTest, SqliRecallClearsFloorAndBlindSpotsAreExact) {
     for (const vdsim::VulnInstance& v : service.vulns) {
       const bool expected = sast::expected_detected(v, analyzer.config());
       const bool actual =
-          detected.count({v.service_index, v.site_index, v.vuln_class}) > 0;
+          detected.contains({v.service_index, v.site_index, v.vuln_class});
       EXPECT_EQ(expected, actual)
           << "instance " << v.id << " class "
           << vdsim::vuln_class_name(v.vuln_class) << " difficulty "

@@ -1,0 +1,4 @@
+// vdlint fixture: namespaced env read — vdl-env-prefix stays quiet.
+#include <cstdlib>
+
+const char* read_knob() { return std::getenv("VDBENCH_THREADS"); }

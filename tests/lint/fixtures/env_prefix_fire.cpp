@@ -1,0 +1,4 @@
+// vdlint fixture: unprefixed env read — must fire vdl-env-prefix.
+#include <cstdlib>
+
+const char* read_knob() { return std::getenv("VD_THREADS"); }

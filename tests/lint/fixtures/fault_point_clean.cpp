@@ -1,0 +1,6 @@
+// vdlint fixture: registered fault point — vdl-fault-point stays quiet.
+#include "fault/injector.h"
+
+vdbench::fault::Action poke_injector() {
+  return vdbench::fault::Injector::global().hit("cache.read");
+}

@@ -1,0 +1,6 @@
+// vdlint fixture: unregistered fault point — must fire vdl-fault-point.
+#include "fault/injector.h"
+
+vdbench::fault::Action poke_injector() {
+  return vdbench::fault::Injector::global().hit("cache.reed");
+}

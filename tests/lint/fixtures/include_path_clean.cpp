@@ -1,0 +1,4 @@
+// vdlint fixture: root-relative include — vdl-include-path stays quiet.
+#include "core/metrics.h"
+
+int use_metrics();

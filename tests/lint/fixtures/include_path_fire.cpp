@@ -1,0 +1,4 @@
+// vdlint fixture: parent-relative include — must fire vdl-include-path.
+#include "../core/metrics.h"
+
+int use_metrics();

@@ -1,0 +1,7 @@
+// vdlint fixture: phase via constant — vdl-phase-literal stays quiet.
+#include "experiments.h"
+#include "stats/timer.h"
+
+void run_phase(vdbench::stats::StageTimer& timer) {
+  const auto scope = timer.scope(vdbench::bench::stage::kChecksum);
+}

@@ -1,0 +1,6 @@
+// vdlint fixture: raw phase literal — must fire vdl-phase-literal.
+#include "stats/timer.h"
+
+void run_phase(vdbench::stats::StageTimer& timer) {
+  const auto scope = timer.scope("warmup");
+}

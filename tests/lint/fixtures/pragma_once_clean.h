@@ -1,0 +1,4 @@
+// vdlint fixture: guarded header — vdl-pragma-once stays quiet.
+#pragma once
+
+int fixture_value();

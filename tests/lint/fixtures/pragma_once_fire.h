@@ -1,0 +1,3 @@
+// vdlint fixture: header without #pragma once — must fire vdl-pragma-once.
+
+int fixture_value();

@@ -1,0 +1,6 @@
+// vdlint fixture: seeded Rng draw — vdl-rand stays quiet.
+#include "stats/rng.h"
+
+int seeded_choice(vdbench::stats::Rng& rng) {
+  return static_cast<int>(rng.uniform_int(0, 6));
+}

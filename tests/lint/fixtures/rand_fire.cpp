@@ -1,0 +1,4 @@
+// vdlint fixture: std::rand — must fire vdl-rand.
+#include <cstdlib>
+
+int unseeded_choice() { return std::rand() % 6; }

@@ -1,0 +1,6 @@
+// vdlint fixture: configured seed — vdl-random-device stays quiet.
+#include "stats/rng.h"
+
+vdbench::stats::Rng configured_rng(std::uint64_t seed) {
+  return vdbench::stats::Rng(seed);
+}

@@ -1,0 +1,4 @@
+// vdlint fixture: std::random_device — must fire vdl-random-device.
+#include <random>
+
+unsigned hardware_seed() { return std::random_device{}(); }

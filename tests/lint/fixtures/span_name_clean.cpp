@@ -1,0 +1,8 @@
+// vdlint fixture: registered span spellings — vdl-span-name stays quiet.
+#include "obs/names.h"
+#include "obs/trace.h"
+
+void trace_step(const char* detail) {
+  const vdbench::obs::Span span(vdbench::obs::names::kDriverExperiment);
+  vdbench::obs::instant("fault.fire", detail);
+}

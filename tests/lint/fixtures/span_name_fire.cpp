@@ -1,0 +1,4 @@
+// vdlint fixture: unregistered span literal — must fire vdl-span-name.
+#include "obs/trace.h"
+
+void trace_step() { const vdbench::obs::Span span("driver.experimnt"); }

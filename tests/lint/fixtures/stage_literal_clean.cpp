@@ -1,0 +1,4 @@
+// vdlint fixture: stage label via constant — vdl-stage-literal stays quiet.
+#include "experiments.h"
+
+const char* stage_label() { return vdbench::bench::stage::kStage1Assessment; }

@@ -1,0 +1,3 @@
+// vdlint fixture: respelled stage label — must fire vdl-stage-literal.
+
+const char* stage_label() { return "stage 1 assessment"; }

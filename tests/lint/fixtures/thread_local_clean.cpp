@@ -1,0 +1,4 @@
+// vdlint fixture: shared atomic state — vdl-thread-local stays quiet.
+#include <atomic>
+
+std::atomic<int> shared_counter{0};

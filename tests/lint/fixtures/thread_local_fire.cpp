@@ -1,0 +1,4 @@
+// vdlint fixture: thread_local outside the allowlist — must fire
+// vdl-thread-local.
+
+thread_local int per_thread_counter = 0;

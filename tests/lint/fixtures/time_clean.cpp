@@ -1,0 +1,4 @@
+// vdlint fixture: sanctioned clock helper — vdl-time stays quiet.
+#include "obs/clock.h"
+
+std::uint64_t stamp_now() { return vdbench::obs::wall_clock_seconds(); }

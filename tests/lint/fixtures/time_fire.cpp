@@ -1,0 +1,4 @@
+// vdlint fixture: libc time() — must fire vdl-time.
+#include <ctime>
+
+long stamp_now() { return static_cast<long>(std::time(nullptr)); }

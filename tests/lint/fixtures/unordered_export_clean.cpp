@@ -1,0 +1,7 @@
+// vdlint fixture: ordered container — vdl-unordered-export stays quiet.
+#include <map>
+#include <string>
+
+#include "report/json.h"
+
+std::string export_counts(const std::map<std::string, int>& m);

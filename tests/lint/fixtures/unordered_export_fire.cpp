@@ -1,0 +1,8 @@
+// vdlint fixture: unordered container next to JsonWriter — must fire
+// vdl-unordered-export.
+#include <string>
+#include <unordered_map>
+
+#include "report/json.h"
+
+std::string export_counts(const std::unordered_map<std::string, int>& m);

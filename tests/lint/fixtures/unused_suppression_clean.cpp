@@ -1,0 +1,5 @@
+// vdlint fixture: a suppression that earns its keep — quiet.
+#include <cstdlib>
+
+// vdlint:allow(vdl-rand)
+int deliberately_unseeded() { return std::rand(); }

@@ -1,0 +1,4 @@
+// vdlint fixture: stale allow comment — must fire vdl-unused-suppression.
+
+// vdlint:allow(vdl-rand)
+int nothing_random();

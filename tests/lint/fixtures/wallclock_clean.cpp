@@ -1,0 +1,6 @@
+// vdlint fixture: monotonic clock — vdl-wallclock-now stays quiet.
+#include <chrono>
+
+std::chrono::steady_clock::time_point grab_monotonic() {
+  return std::chrono::steady_clock::now();
+}

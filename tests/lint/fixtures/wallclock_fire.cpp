@@ -1,0 +1,6 @@
+// vdlint fixture: system_clock::now() — must fire vdl-wallclock-now.
+#include <chrono>
+
+std::chrono::system_clock::time_point grab_wall_clock() {
+  return std::chrono::system_clock::now();
+}

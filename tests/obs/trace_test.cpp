@@ -193,6 +193,7 @@ TEST(ProfilerTest, CollectsPerSpanSummariesWhileArmed) {
   profiler.clear();
   profiler.arm();
   for (int i = 0; i < 10; ++i) {
+    // vdlint:allow(vdl-span-name)
     const Span span("profiler.unit.span");
   }
   profiler.disarm();
@@ -209,6 +210,7 @@ TEST(ProfilerTest, CollectsPerSpanSummariesWhileArmed) {
   EXPECT_GE(it->total_us, it->max_us);
 
   // Disarmed spans no longer report.
+  // vdlint:allow(vdl-span-name)
   { const Span span("profiler.unit.span"); }
   const std::vector<Profiler::Summary> after = profiler.summaries();
   const auto it2 = std::find_if(

@@ -28,6 +28,7 @@ TEST(StageTimerTest, RecordRejectsNegativeDuration) {
 TEST(StageTimerTest, ScopeRecordsElapsedTime) {
   StageTimer timer;
   {
+    // vdlint:allow(vdl-phase-literal)
     const auto scope = timer.scope("work");
     volatile double sink = 0.0;
     for (int i = 0; i < 10000; ++i) sink = sink + static_cast<double>(i);
@@ -41,6 +42,7 @@ TEST(StageTimerTest, ScopeRecordsElapsedTime) {
 TEST(StageTimerTest, MovedFromScopeDoesNotDoubleRecord) {
   StageTimer timer;
   {
+    // vdlint:allow(vdl-phase-literal)
     auto outer = [&] { return timer.scope("phase"); }();
     (void)outer;
   }

@@ -22,63 +22,77 @@ std::string_view trim(std::string_view text) {
   return text;
 }
 
-[[noreturn]] void bad_spec(std::string_view clause, std::string_view why) {
+// A multi-clause spec grid ("a=...;b=...;c=...") is only debuggable when a
+// parse error pinpoints the clause: every message carries the offending
+// clause text verbatim AND its byte offset within the full spec string.
+[[noreturn]] void bad_spec(std::string_view clause, std::size_t offset,
+                           std::string_view why) {
   throw std::invalid_argument("VDBENCH_FAULTS: bad clause '" +
-                              std::string(clause) + "': " + std::string(why));
+                              std::string(clause) + "' at offset " +
+                              std::to_string(offset) + ": " +
+                              std::string(why));
 }
 
-std::uint64_t parse_count(std::string_view clause, std::string_view digits,
-                          std::string_view what) {
-  if (digits.empty()) bad_spec(clause, std::string(what) + " is empty");
+std::uint64_t parse_count(std::string_view clause, std::size_t offset,
+                          std::string_view digits, std::string_view what) {
+  if (digits.empty()) bad_spec(clause, offset, std::string(what) + " is empty");
   std::uint64_t value = 0;
   for (const char c : digits) {
     if (!std::isdigit(static_cast<unsigned char>(c)))
-      bad_spec(clause, std::string(what) + " is not a positive integer");
+      bad_spec(clause, offset,
+               std::string(what) + " '" + std::string(digits) +
+                   "' is not a positive integer");
     value = value * 10 + static_cast<std::uint64_t>(c - '0');
   }
   if (value == 0)
-    bad_spec(clause, std::string(what) + " must be >= 1");
+    bad_spec(clause, offset, std::string(what) + " must be >= 1");
   return value;
 }
 
-Action parse_action(std::string_view clause, std::string_view token) {
+Action parse_action(std::string_view clause, std::size_t offset,
+                    std::string_view token) {
   if (token == "io_error") return Action::kIoError;
   if (token == "throw") return Action::kThrow;
   if (token == "timeout") return Action::kTimeout;
   if (token == "corrupt") return Action::kCorrupt;
   if (token == "truncate") return Action::kTruncate;
-  bad_spec(clause, "unknown action '" + std::string(token) +
-                       "' (io_error|throw|timeout|corrupt|truncate)");
+  bad_spec(clause, offset,
+           "unknown action '" + std::string(token) +
+               "' (io_error|throw|timeout|corrupt|truncate)");
 }
 
-FaultRule parse_clause(std::string_view clause) {
+// `offset` is the clause's position inside the full spec string, threaded
+// through purely for error messages.
+FaultRule parse_clause(std::string_view clause, std::size_t offset) {
   FaultRule rule;
   const std::size_t eq = clause.find('=');
-  if (eq == std::string_view::npos) bad_spec(clause, "missing '='");
+  if (eq == std::string_view::npos) bad_spec(clause, offset, "missing '='");
   const std::string_view point = trim(clause.substr(0, eq));
   if (std::find(std::begin(kKnownPoints), std::end(kKnownPoints), point) ==
       std::end(kKnownPoints))
-    bad_spec(clause, "unknown point '" + std::string(point) + "'");
+    bad_spec(clause, offset, "unknown point '" + std::string(point) + "'");
   rule.point = std::string(point);
 
   const std::string_view rest = trim(clause.substr(eq + 1));
   const std::size_t at = rest.find('@');
-  rule.action = parse_action(clause, trim(rest.substr(0, at)));
+  rule.action = parse_action(clause, offset, trim(rest.substr(0, at)));
   if (at == std::string_view::npos) return rule;  // fire on every hit
 
   std::string_view target = trim(rest.substr(at + 1));
   const std::size_t colon = target.rfind(':');
   if (colon != std::string_view::npos) {
     rule.key = std::string(trim(target.substr(0, colon)));
-    if (rule.key.empty()) bad_spec(clause, "empty key before ':'");
+    if (rule.key.empty()) bad_spec(clause, offset, "empty key before ':'");
     target = trim(target.substr(colon + 1));
   }
   const std::size_t x = target.find('x');
   if (x != std::string_view::npos) {
-    rule.trigger = parse_count(clause, target.substr(0, x), "trigger count");
-    rule.repeat = parse_count(clause, target.substr(x + 1), "repeat count");
+    rule.trigger =
+        parse_count(clause, offset, target.substr(0, x), "trigger count");
+    rule.repeat =
+        parse_count(clause, offset, target.substr(x + 1), "repeat count");
   } else {
-    rule.trigger = parse_count(clause, target, "trigger count");
+    rule.trigger = parse_count(clause, offset, target, "trigger count");
   }
   return rule;
 }
@@ -104,7 +118,9 @@ std::vector<FaultRule> Injector::parse(std::string_view spec) {
     std::size_t end = spec.find(';', pos);
     if (end == std::string_view::npos) end = spec.size();
     const std::string_view clause = trim(spec.substr(pos, end - pos));
-    if (!clause.empty()) rules.push_back(parse_clause(clause));
+    if (!clause.empty())
+      rules.push_back(parse_clause(
+          clause, static_cast<std::size_t>(clause.data() - spec.data())));
     if (end == spec.size()) break;
     pos = end + 1;
   }

@@ -12,6 +12,11 @@
 //   manifest.write    driver manifest writes (no key)
 //   stream.produce    streaming-pipeline producer (key = decimal chunk index)
 //   stream.consume    streaming-pipeline consumer (key = decimal chunk index)
+//   net.accept        vdbenchd accept loop   (no key)
+//   net.read          wire-frame reads       (key = peer role, "server"/"client")
+//   net.write         wire-frame writes      (key = peer role, "server"/"client")
+//   net.frame         wire-frame validation  (key = peer role; corrupt/truncate
+//                     mangle the received bytes so the checksum rejects them)
 //
 // A schedule is armed from a spec string (the `VDBENCH_FAULTS` environment
 // variable for the vdbench binary; `Injector::arm` in tests):
@@ -54,7 +59,8 @@ namespace vdbench::fault {
 /// hit("...") call site naming an unregistered point.
 inline constexpr const char* kKnownPoints[] = {
     "cache.read",     "cache.write",    "experiment.body", "executor.task",
-    "manifest.write", "stream.produce", "stream.consume"};
+    "manifest.write", "stream.produce", "stream.consume",  "net.accept",
+    "net.read",       "net.write",      "net.frame"};
 
 /// What a firing rule asks the call site to simulate.
 enum class Action {

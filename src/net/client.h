@@ -1,0 +1,42 @@
+// Client side of the vdbench daemon protocol: submit one study to a
+// running `vdbenchd` and collect the streamed response.
+//
+// run_study connects, sends the request frame, forwards progress frames to
+// the caller's stream as they arrive, and returns the final status with
+// the export (and optional manifest) bodies verbatim — the bytes are
+// exactly what the daemon's driver run exported, so a caller that writes
+// `export_json` to disk gets a byte-identical file to a local `vdbench
+// --json-out` run of the same study. Transport failures (daemon absent,
+// torn frame, deadline) are reported as a StudyStatus with exit code
+// kExitTransport rather than thrown, so the CLI wrapper maps every
+// outcome to one exit code.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace vdbench::net {
+
+struct ClientOptions {
+  std::string socket_path = "vdbenchd.sock";
+  StudyRequest request;
+  /// Client-side wall-clock budget for the whole exchange; a daemon that
+  /// stops responding for this long yields a transport error.
+  double deadline_sec = 60.0;
+};
+
+struct ClientOutcome {
+  StudyStatus status;        ///< the daemon's final word (or a transport error)
+  std::string export_json;   ///< study JSON export, verbatim; may be empty
+  std::string manifest_json; ///< session manifest when requested; may be empty
+};
+
+/// Run one study through the daemon. Progress frames stream to `progress`
+/// as they arrive. Never throws for protocol/transport failures — they
+/// come back as status "transport_error" / exit kExitTransport.
+[[nodiscard]] ClientOutcome run_study(const ClientOptions& options,
+                                      std::ostream& progress);
+
+}  // namespace vdbench::net

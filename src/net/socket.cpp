@@ -1,0 +1,168 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace vdbench::net {
+
+namespace {
+
+std::string errno_text(std::string_view what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// Remaining milliseconds until `deadline`, clamped for poll(); throws on
+// an already-expired deadline so callers never spin.
+int remaining_ms(Deadline deadline, std::string_view what) {
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline)
+    throw TransportError(std::string(what) + " deadline expired");
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+          .count();
+  constexpr long long kMaxPollMs = 60'000;
+  return static_cast<int>(left > kMaxPollMs ? kMaxPollMs : (left + 1));
+}
+
+// Park until `fd` is ready for `events` or the deadline passes.
+void wait_ready(int fd, short events, Deadline deadline,
+                std::string_view what) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, remaining_ms(deadline, what));
+    if (rc > 0) return;  // ready (or error/hup — the next syscall reports)
+    if (rc == 0) continue;  // re-check the deadline, clamp again
+    if (errno == EINTR) continue;
+    throw TransportError(errno_text(std::string(what) + " poll"));
+  }
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(address.sun_path))
+    throw TransportError("socket path too long: " + path);
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+Deadline no_deadline() noexcept {
+  return std::chrono::steady_clock::now() + std::chrono::hours(24);
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::read_exact(char* dst, std::size_t n, Deadline deadline) {
+  if (!valid()) throw TransportError("read on a closed socket");
+  std::size_t done = 0;
+  while (done < n) {
+    wait_ready(fd_, POLLIN, deadline, "read");
+    const ssize_t got = ::recv(fd_, dst + done, n - done, 0);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0)
+      throw TransportError("peer closed after " + std::to_string(done) +
+                           " of " + std::to_string(n) + " bytes");
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw TransportError(errno_text("recv"));
+  }
+}
+
+void Socket::write_all(const char* src, std::size_t n, Deadline deadline) {
+  if (!valid()) throw TransportError("write on a closed socket");
+  std::size_t done = 0;
+  while (done < n) {
+    wait_ready(fd_, POLLOUT, deadline, "write");
+    const ssize_t sent =
+        ::send(fd_, src + done, n - done, MSG_NOSIGNAL);
+    if (sent > 0) {
+      done += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 &&
+        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
+    throw TransportError(errno_text("send"));
+  }
+}
+
+bool Socket::peer_closed() const noexcept {
+  if (!valid()) return true;
+  char probe;
+  const ssize_t got =
+      ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  return got == 0;  // 0 = orderly shutdown; data or EAGAIN = still alive
+}
+
+Listener::Listener(const std::string& path) : path_(path) {
+  const sockaddr_un address = make_address(path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw TransportError(errno_text("socket"));
+  ::unlink(path.c_str());  // a stale socket file from a dead daemon
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const std::string detail = errno_text("bind " + path);
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError(detail);
+  }
+  if (::listen(fd_, 16) != 0) {
+    const std::string detail = errno_text("listen " + path);
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path.c_str());
+    throw TransportError(detail);
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+std::optional<Socket> Listener::accept_one() {
+  const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd >= 0) return Socket(fd);
+  if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+      errno == ECONNABORTED)
+    return std::nullopt;
+  throw TransportError(errno_text("accept"));
+}
+
+Socket connect_unix(const std::string& path) {
+  const sockaddr_un address = make_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw TransportError(errno_text("socket"));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const std::string detail = errno_text("connect " + path);
+    ::close(fd);
+    throw TransportError(detail);
+  }
+  return Socket(fd);
+}
+
+}  // namespace vdbench::net

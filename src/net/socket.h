@@ -1,0 +1,89 @@
+// Minimal POSIX socket RAII for the vdbench daemon: unix-domain stream
+// sockets with deadline-aware blocking I/O.
+//
+// Everything here is deliberately thin — ownership, deadlines and error
+// typing — because the interesting behaviour (framing, checksums, fault
+// injection) lives in net/frame.h on top of plain byte callbacks. Every
+// operation takes an absolute steady-clock deadline: a peer that stalls
+// past it raises TransportError instead of wedging a daemon thread, which
+// is the mechanism behind per-connection deadlines. SIGPIPE is never
+// raised (sends use MSG_NOSIGNAL), so a client that vanishes mid-response
+// surfaces as an error return, not a process signal.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "net/frame.h"
+
+namespace vdbench::net {
+
+/// Absolute I/O deadline on the monotonic clock.
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// A deadline far enough out to mean "no deadline" for practical purposes.
+[[nodiscard]] Deadline no_deadline() noexcept;
+
+/// Owns one connected stream-socket file descriptor. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  /// Fill exactly [dst, dst+n) before `deadline`. Throws TransportError on
+  /// EOF, I/O error, or deadline expiry.
+  void read_exact(char* dst, std::size_t n, Deadline deadline);
+
+  /// Write exactly [src, src+n) before `deadline`. Throws TransportError
+  /// on I/O error (including a closed peer) or deadline expiry.
+  void write_all(const char* src, std::size_t n, Deadline deadline);
+
+  /// True when the peer has shut down its write side (a non-blocking
+  /// MSG_PEEK sees EOF). Never blocks; used by the server's watchdog to
+  /// detect a dead client between progress frames.
+  [[nodiscard]] bool peer_closed() const noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bound + listening unix-domain socket. Construction unlinks any stale
+/// socket file at `path`, binds, and listens; destruction closes and
+/// unlinks. Throws TransportError when the path cannot be bound.
+class Listener {
+ public:
+  explicit Listener(const std::string& path);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Accept one pending connection. Returns nullopt on a transient
+  /// failure (EINTR, the peer aborting mid-handshake); throws
+  /// TransportError only when the listening socket itself is broken.
+  [[nodiscard]] std::optional<Socket> accept_one();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connect to a daemon's unix-domain socket. Throws TransportError when
+/// the socket is absent or refuses.
+[[nodiscard]] Socket connect_unix(const std::string& path);
+
+}  // namespace vdbench::net

@@ -49,6 +49,11 @@ inline constexpr const char* kBatchEvaluateAll = "batch.evaluate_all";
 inline constexpr const char* kStreamProduce = "stream.produce";
 inline constexpr const char* kStreamConsume = "stream.consume";
 
+// Benchmark daemon (net/server.cpp).
+inline constexpr const char* kNetSession = "net.session";
+inline constexpr const char* kNetReject = "net.reject";
+inline constexpr const char* kNetDrain = "net.drain";
+
 // Driver StageTimer phases (timer scopes double as spans).
 inline constexpr const char* kPhaseCacheReplay = "cache replay";
 inline constexpr const char* kPhaseCacheStore = "cache store";
@@ -61,7 +66,7 @@ inline constexpr const char* kAllSpans[] = {
     kDriverResume,        kExecutorTask,   kExecutorCancel, kCacheFetch,
     kCacheStore,          kCacheCorrupt,   kFaultFire,      kStudyStage1,
     kStudyStage2,         kBatchEvaluateMetric, kBatchEvaluateAll,
-    kStreamProduce,       kStreamConsume,  kPhaseCacheReplay,
-    kPhaseCacheStore};
+    kStreamProduce,       kStreamConsume,  kNetSession,     kNetReject,
+    kNetDrain,            kPhaseCacheReplay,    kPhaseCacheStore};
 
 }  // namespace vdbench::obs::names

@@ -28,6 +28,12 @@ std::string_view counter_name(Counter counter) noexcept {
     case Counter::kLogBytesWritten: return "log.bytes.written";
     case Counter::kLogBytesRead: return "log.bytes.read";
     case Counter::kLogCorruptions: return "log.corruptions";
+    case Counter::kNetSessionsAccepted: return "net.sessions.accepted";
+    case Counter::kNetSessionsRejected: return "net.sessions.rejected";
+    case Counter::kNetSessionsCancelled: return "net.sessions.cancelled";
+    case Counter::kNetSessionsCompleted: return "net.sessions.completed";
+    case Counter::kNetBytesIn: return "net.bytes.in";
+    case Counter::kNetBytesOut: return "net.bytes.out";
   }
   return "unknown";
 }
@@ -37,6 +43,7 @@ std::string_view gauge_name(Gauge gauge) noexcept {
     case Gauge::kThreads: return "threads";
     case Gauge::kCacheEntries: return "cache.entries";
     case Gauge::kCacheBytes: return "cache.bytes";
+    case Gauge::kNetQueueDepth: return "net.queue.depth";
   }
   return "unknown";
 }

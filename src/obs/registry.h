@@ -51,16 +51,23 @@ enum class Counter : std::size_t {
   kLogBytesWritten,          ///< report-log bytes recorded
   kLogBytesRead,             ///< report-log bytes replayed
   kLogCorruptions,           ///< report-log frames rejected as corrupt
+  kNetSessionsAccepted,      ///< daemon connections admitted to the queue
+  kNetSessionsRejected,      ///< connections refused (queue full or draining)
+  kNetSessionsCancelled,     ///< sessions cancelled (deadline or dead client)
+  kNetSessionsCompleted,     ///< sessions that ran a study to a final status
+  kNetBytesIn,               ///< wire bytes the daemon read from clients
+  kNetBytesOut,              ///< wire bytes the daemon wrote to clients
 };
-inline constexpr std::size_t kCounterCount = 22;
+inline constexpr std::size_t kCounterCount = 28;
 
 /// Point-in-time values (last write wins; no aggregation).
 enum class Gauge : std::size_t {
   kThreads,       ///< parallel-engine concurrency of the current run
   kCacheEntries,  ///< live entries in the result cache
   kCacheBytes,    ///< summed payload bytes in the result cache
+  kNetQueueDepth, ///< daemon admission-queue occupancy
 };
-inline constexpr std::size_t kGaugeCount = 3;
+inline constexpr std::size_t kGaugeCount = 4;
 
 /// Log2-bucketed distributions: record(v) increments bucket bit_width(v),
 /// i.e. bucket b counts values in [2^(b-1), 2^b). Bucket 0 counts zeros.

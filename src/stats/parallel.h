@@ -34,11 +34,23 @@
 namespace vdbench::stats {
 
 /// Cooperative cancellation flag shared between a supervisor (the driver's
-/// watchdog) and the execution engine. Cancellation never interrupts a task
-/// mid-flight — workers observe the flag between task claims, stop claiming,
-/// and the fork-join call throws Cancelled. A cancelled computation's partial
-/// results are therefore scheduling-dependent and must be discarded wholesale;
-/// a fresh run after cancellation is bit-identical to a first-try run.
+/// watchdog, a daemon's connection teardown) and the execution engine.
+/// Cancellation never interrupts a task mid-flight — workers observe the flag
+/// between task claims, stop claiming, and the fork-join call throws
+/// Cancelled. A cancelled computation's partial results are therefore
+/// scheduling-dependent and must be discarded wholesale; a fresh run after
+/// cancellation is bit-identical to a first-try run.
+///
+/// Idempotency contract: request_cancel() is a plain atomic store, so it is
+/// safe — by contract, not by luck — to call it any number of times, from any
+/// thread, concurrently with itself and with cancelled() polls. Double-cancel
+/// (watchdog and connection teardown racing each other) is a no-op beyond the
+/// first call. Cancel-before-start is equally well-defined: a token cancelled
+/// before any parallel loop begins makes the first parallel_for_indexed (or
+/// cancellation_requested() poll) observe the flag and throw Cancelled before
+/// claiming work. The token stays cancelled until reset(); reset() must not
+/// race with request_cancel() for the SAME computation (a supervisor resets
+/// only between attempts, when no worker holds the token).
 class CancellationToken {
  public:
   void request_cancel() noexcept {

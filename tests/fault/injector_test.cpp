@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace vdbench::fault {
 namespace {
@@ -40,6 +41,42 @@ TEST(InjectorParseTest, RejectsMalformedSpecs) {
                std::invalid_argument);
   EXPECT_TRUE(Injector::parse("").empty());
   EXPECT_TRUE(Injector::parse(" ; ; ").empty());
+}
+
+TEST(InjectorParseTest, ErrorsNameTheClauseAndItsOffset) {
+  // A multi-clause grid is only debuggable when the error pinpoints the
+  // offending clause: its text verbatim and its byte offset in the spec.
+  const auto message_of = [](std::string_view spec) -> std::string {
+    try {
+      (void)Injector::parse(spec);
+    } catch (const std::invalid_argument& error) {
+      return error.what();
+    }
+    return "";
+  };
+
+  const std::string first = message_of("bogus.point=throw");
+  EXPECT_NE(first.find("'bogus.point=throw'"), std::string::npos) << first;
+  EXPECT_NE(first.find("at offset 0"), std::string::npos) << first;
+
+  // The same bad clause in second position reports its real offset
+  // (clause text starts after "cache.read=corrupt; " = 20 bytes).
+  const std::string second =
+      message_of("cache.read=corrupt; bogus.point=throw");
+  EXPECT_NE(second.find("'bogus.point=throw'"), std::string::npos) << second;
+  EXPECT_NE(second.find("at offset 20"), std::string::npos) << second;
+
+  const std::string action = message_of("cache.read=explode;x=y");
+  EXPECT_NE(action.find("'cache.read=explode'"), std::string::npos) << action;
+  EXPECT_NE(action.find("unknown action 'explode'"), std::string::npos)
+      << action;
+
+  const std::string count =
+      message_of("cache.write=io_error@1;cache.read=throw@e1:zz");
+  EXPECT_NE(count.find("'cache.read=throw@e1:zz'"), std::string::npos)
+      << count;
+  EXPECT_NE(count.find("at offset 23"), std::string::npos) << count;
+  EXPECT_NE(count.find("'zz'"), std::string::npos) << count;
 }
 
 TEST(InjectorTest, DisarmedHitIsANoOp) {

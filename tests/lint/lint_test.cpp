@@ -102,7 +102,9 @@ TEST(NameTablesTest, ParsesTheThreeDefiningHeaders) {
   EXPECT_GE(tables.span_names.size(), 19u);
   EXPECT_TRUE(tables.fault_points.contains("cache.read"));
   EXPECT_TRUE(tables.fault_points.contains("stream.consume"));
-  EXPECT_EQ(tables.fault_points.size(), 7u);
+  EXPECT_TRUE(tables.fault_points.contains("net.read"));
+  EXPECT_TRUE(tables.fault_points.contains("net.frame"));
+  EXPECT_EQ(tables.fault_points.size(), 11u);
   // Compare against the compiled constants: the runtime parse of
   // bench/experiments.h must agree with what the compiler saw.
   EXPECT_TRUE(tables.stage_names.contains(bench::stage::kStage1Assessment));

@@ -156,6 +156,37 @@ TEST(CancellationTest, ScopedTokenInstallsAndRestores) {
   EXPECT_FALSE(token.cancelled());
 }
 
+TEST(CancellationTest, DoubleCancelIsIdempotent) {
+  // The header contract: request_cancel() any number of times, from any
+  // thread, is a no-op beyond the first. Teardown racing a watchdog must
+  // be safe by contract, so hammer the token from several threads at once.
+  CancellationToken token;
+  token.request_cancel();
+  token.request_cancel();  // same-thread double cancel
+  EXPECT_TRUE(token.cancelled());
+  std::vector<std::thread> racers;
+  for (int t = 0; t < 4; ++t)
+    racers.emplace_back([&token] {
+      for (int i = 0; i < 1000; ++i) token.request_cancel();
+    });
+  for (std::thread& racer : racers) racer.join();
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  // A reset token cancels cleanly again — no one-shot latching.
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationTest, CancelBeforeInstallIsObservedOnFirstPoll) {
+  // Cancel-before-start: the token fires before it is even installed, and
+  // the very first poll after installation sees it.
+  CancellationToken token;
+  token.request_cancel();
+  ScopedCancellationToken install(&token);
+  EXPECT_TRUE(cancellation_requested());
+}
+
 TEST(CancellationTest, PreCancelledTokenThrowsCancelledImmediately) {
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     ParallelExecutor executor(threads);

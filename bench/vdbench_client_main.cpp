@@ -34,11 +34,13 @@ void print_usage(std::ostream& out) {
 }
 
 bool parse_u64(std::string_view text, std::uint64_t& out) {
-  if (text.empty()) return false;
+  if (text.empty() || text.size() > 20) return false;
   std::uint64_t value = 0;
   for (const char c : text) {
     if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // > 2^64-1
+    value = value * 10 + digit;
   }
   out = value;
   return true;

@@ -29,6 +29,8 @@ void print_usage(std::ostream& out) {
          "  --max-queue N        sessions allowed to wait (default 4)\n"
          "  --deadline-sec X     per-connection wall-clock budget "
          "(default 30)\n"
+         "  --request-sec X      budget for reading the request frame "
+         "(default 5)\n"
          "  --drain-sec X        grace for in-flight work on drain "
          "(default 5)\n"
          "  --threads N          parallel engine default for sessions\n"
@@ -84,6 +86,8 @@ int main(int argc, char** argv) {
       ok = parse_size(value(), options.max_queue);
     } else if (arg == "--deadline-sec") {
       ok = parse_seconds(value(), options.deadline_sec);
+    } else if (arg == "--request-sec") {
+      ok = parse_seconds(value(), options.request_sec);
     } else if (arg == "--drain-sec") {
       ok = parse_seconds(value(), options.drain_sec);
     } else if (arg == "--threads") {

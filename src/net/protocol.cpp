@@ -43,6 +43,29 @@ bool read_string(const report::JsonValue& doc, std::string_view key,
   return true;
 }
 
+// Full-range u64 member, carried as a decimal string on the wire because
+// the reader parses JSON numbers as doubles and would silently corrupt
+// integers above 2^53 (a real concern for --seed, which accepts any u64).
+// A numeric value is still accepted when it is exactly representable.
+bool read_u64(const report::JsonValue& doc, std::string_view key,
+              std::uint64_t& out) {
+  const report::JsonValue* member = doc.member(key);
+  if (member == nullptr) return true;  // absent = keep default
+  if (const std::string* text = member->as_string(); text != nullptr) {
+    if (text->empty() || text->size() > 20) return false;
+    std::uint64_t value = 0;
+    for (const char c : *text) {
+      if (c < '0' || c > '9') return false;
+      const auto digit = static_cast<std::uint64_t>(c - '0');
+      if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+      value = value * 10 + digit;
+    }
+    out = value;
+    return true;
+  }
+  return read_count(doc, key, out);
+}
+
 }  // namespace
 
 std::string encode_request(const StudyRequest& request) {
@@ -50,7 +73,7 @@ std::string encode_request(const StudyRequest& request) {
   json.begin_object()
       .field("experiments", request.experiments)
       .field("threads", static_cast<std::uint64_t>(request.threads))
-      .field("study_seed", request.study_seed)
+      .field("study_seed", std::to_string(request.study_seed))
       .field("use_cache", request.use_cache)
       .field("refresh", request.refresh)
       .field("quiet", request.quiet)
@@ -69,7 +92,7 @@ std::optional<StudyRequest> decode_request(std::string_view json) {
   std::uint64_t retries = 0;
   if (!read_string(*doc, "experiments", request.experiments) ||
       !read_count(*doc, "threads", threads) ||
-      !read_count(*doc, "study_seed", request.study_seed) ||
+      !read_u64(*doc, "study_seed", request.study_seed) ||
       !read_flag(*doc, "use_cache", request.use_cache) ||
       !read_flag(*doc, "refresh", request.refresh) ||
       !read_flag(*doc, "quiet", request.quiet) ||

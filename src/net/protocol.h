@@ -33,6 +33,8 @@ struct StudyRequest {
   std::size_t threads = 0;          ///< 0 = daemon default
   /// Study-seed override; 0 = the daemon's configured seed. Part of every
   /// cache key, so override runs can never serve another seed's results.
+  /// Encoded as a decimal string on the wire: JSON numbers decode as
+  /// doubles and would silently corrupt seeds above 2^53.
   std::uint64_t study_seed = 0;
   bool use_cache = true;   ///< false = bypass the shared cache entirely
   bool refresh = false;    ///< recompute and overwrite cache entries

@@ -1,7 +1,9 @@
 #include "net/server.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -206,7 +208,15 @@ int Server::run(std::ostream& log) {
   while (!drain_requested_.load(std::memory_order_relaxed)) {
     pollfd fds[2] = {{listener_.fd(), POLLIN, 0}, {wake_read_, POLLIN, 0}};
     const int rc = ::poll(fds, 2, -1);
-    if (rc < 0) continue;  // EINTR: re-check the drain flag
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // re-check the drain flag
+      // Anything else (EBADF/EINVAL on a broken listener) would repeat
+      // forever — a retry loop here is a 100% CPU spin. Drain instead:
+      // in-flight and queued sessions still finish or get a status.
+      say(log, std::string("vdbenchd: accept poll failed: ") +
+                   std::strerror(errno) + "; draining");
+      break;
+    }
     if ((fds[1].revents & POLLIN) != 0 ||
         drain_requested_.load(std::memory_order_relaxed))
       break;
@@ -245,18 +255,28 @@ int Server::run(std::ostream& log) {
   abandoned.clear();
 
   {
-    // Give the in-flight study its grace, then cancel its token; the
-    // worker always finishes (a cancelled driver run still writes its
-    // manifest atomically and returns), so the join below is bounded.
+    // Give the in-flight study its grace, then cancel its token. The
+    // worker marks itself busy before handle_session installs the token,
+    // so a single cancel attempt at grace expiry could land in that
+    // window and miss — keep re-checking until the worker clears. The
+    // loop is bounded: the request-read phase has its own short deadline
+    // (request_sec), and a cancelled driver run still writes its
+    // manifest atomically and returns, so the join below is too.
     core::MutexLock lock(mutex_);
     const Deadline grace = after_seconds(options_.drain_sec);
     while (worker_busy_ && Clock::now() < grace)
       done_cv_.wait_for(lock, std::chrono::milliseconds(20));
-    if (worker_busy_ && active_token_ != nullptr) {
-      active_token_->request_cancel();
-      lock.unlock();
-      say(log, "vdbenchd: drain grace expired; cancelling in-flight study");
-      lock.lock();
+    bool announced = false;
+    while (worker_busy_) {
+      if (active_token_ != nullptr) active_token_->request_cancel();
+      if (!announced) {
+        announced = true;
+        lock.unlock();
+        say(log, "vdbenchd: drain grace expired; cancelling in-flight study");
+        lock.lock();
+        continue;  // state may have changed while unlocked
+      }
+      done_cv_.wait_for(lock, std::chrono::milliseconds(20));
     }
   }
   worker.join();
@@ -304,12 +324,17 @@ void Server::handle_session(Pending session, std::ostream& log) {
   const std::string session_name = "session-" + std::to_string(session.id);
   const obs::Span span(obs::names::kNetSession, session_name);
 
-  // 1. Read and decode the study request within the session deadline.
+  // 1. Read and decode the study request. The request frame is a few
+  // hundred bytes, so it gets a deadline much shorter than the session's:
+  // no token guards this phase yet, and drain must not wait out the full
+  // session budget for a client that connected and went silent.
+  const Deadline request_deadline =
+      std::min(session.deadline, after_seconds(options_.request_sec));
   Frame request_frame;
   try {
     request_frame = read_frame(
         [&](char* dst, std::size_t n) {
-          session.socket.read_exact(dst, n, session.deadline);
+          session.socket.read_exact(dst, n, request_deadline);
         },
         kRoleServer);
   } catch (const std::exception& error) {

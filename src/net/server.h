@@ -59,6 +59,11 @@ struct ServerOptions {
   std::size_t max_queue = 4;
   /// Wall-clock budget per session, admission → final status.
   double deadline_sec = 30.0;
+  /// Budget for reading the (tiny) request frame after admission. This
+  /// phase runs before the session's CancellationToken exists, so its
+  /// deadline — not a cancel — is what bounds drain when a client
+  /// connects and then stalls without sending a request.
+  double request_sec = 5.0;
   /// Grace an in-flight study gets on drain before cancellation.
   double drain_sec = 5.0;
   std::size_t threads = 0;       ///< parallel-engine default for sessions

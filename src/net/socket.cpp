@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -39,6 +40,19 @@ void wait_ready(int fd, short events, Deadline deadline,
     if (rc == 0) continue;  // re-check the deadline, clamp again
     if (errno == EINTR) continue;
     throw TransportError(errno_text(std::string(what) + " poll"));
+  }
+}
+
+// Every connected socket must be O_NONBLOCK: read_exact/write_all rely on
+// recv/send returning EAGAIN so that wait_ready's poll() deadline governs
+// all progress. A blocking send could otherwise wedge a thread once the
+// kernel buffer fills against a peer that stopped reading.
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    const std::string detail = errno_text("fcntl O_NONBLOCK");
+    ::close(fd);
+    throw TransportError(detail);
   }
 }
 
@@ -114,12 +128,16 @@ bool Socket::peer_closed() const noexcept {
   char probe;
   const ssize_t got =
       ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
-  return got == 0;  // 0 = orderly shutdown; data or EAGAIN = still alive
+  if (got > 0) return false;  // pending data = still alive
+  if (got == 0) return true;  // orderly shutdown
+  // A reset peer (ECONNRESET and friends) reports -1, not 0; only the
+  // would-block/interrupted cases mean the client is still there.
+  return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR;
 }
 
 Listener::Listener(const std::string& path) : path_(path) {
   const sockaddr_un address = make_address(path);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd_ < 0) throw TransportError(errno_text("socket"));
   ::unlink(path.c_str());  // a stale socket file from a dead daemon
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address),
@@ -144,7 +162,8 @@ Listener::~Listener() {
 }
 
 std::optional<Socket> Listener::accept_one() {
-  const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  const int fd =
+      ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
   if (fd >= 0) return Socket(fd);
   if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
       errno == ECONNABORTED)
@@ -162,6 +181,10 @@ Socket connect_unix(const std::string& path) {
     ::close(fd);
     throw TransportError(detail);
   }
+  // Connect while still blocking (a unix-domain connect either completes
+  // or fails immediately, no EINPROGRESS dance), then flip to O_NONBLOCK
+  // for all subsequent I/O.
+  set_nonblocking(fd);
   return Socket(fd);
 }
 

@@ -1,13 +1,16 @@
 // Minimal POSIX socket RAII for the vdbench daemon: unix-domain stream
-// sockets with deadline-aware blocking I/O.
+// sockets with deadline-aware non-blocking I/O.
 //
 // Everything here is deliberately thin — ownership, deadlines and error
 // typing — because the interesting behaviour (framing, checksums, fault
 // injection) lives in net/frame.h on top of plain byte callbacks. Every
-// operation takes an absolute steady-clock deadline: a peer that stalls
-// past it raises TransportError instead of wedging a daemon thread, which
-// is the mechanism behind per-connection deadlines. SIGPIPE is never
-// raised (sends use MSG_NOSIGNAL), so a client that vanishes mid-response
+// connected fd is O_NONBLOCK, so recv/send always return immediately and
+// poll() is the only place a thread waits. Every operation takes an
+// absolute steady-clock deadline: a peer that stalls past it — including
+// one that stops draining its receive buffer mid-response — raises
+// TransportError instead of wedging a daemon thread, which is the
+// mechanism behind per-connection deadlines. SIGPIPE is never raised
+// (sends use MSG_NOSIGNAL), so a client that vanishes mid-response
 // surfaces as an error return, not a process signal.
 #pragma once
 
@@ -50,9 +53,10 @@ class Socket {
   /// on I/O error (including a closed peer) or deadline expiry.
   void write_all(const char* src, std::size_t n, Deadline deadline);
 
-  /// True when the peer has shut down its write side (a non-blocking
-  /// MSG_PEEK sees EOF). Never blocks; used by the server's watchdog to
-  /// detect a dead client between progress frames.
+  /// True when the peer is gone: a non-blocking MSG_PEEK sees EOF
+  /// (orderly shutdown) or a hard error such as ECONNRESET. Never
+  /// blocks; used by the server's watchdog to detect a dead client
+  /// between progress frames.
   [[nodiscard]] bool peer_closed() const noexcept;
 
  private:

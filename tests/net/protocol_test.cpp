@@ -34,6 +34,29 @@ TEST(StudyRequestTest, RoundTripsEveryField) {
   EXPECT_TRUE(decoded->want_manifest);
 }
 
+TEST(StudyRequestTest, RoundTripsSeedsAboveDoublePrecision) {
+  // Seeds ride the wire as decimal strings: a JSON number decodes as a
+  // double and silently alters integers above 2^53.
+  StudyRequest request;
+  request.study_seed = 18446744073709551615ull;  // UINT64_MAX
+  std::optional<StudyRequest> decoded =
+      decode_request(encode_request(request));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->study_seed, 18446744073709551615ull);
+
+  request.study_seed = (1ull << 53) + 1;  // first double-unrepresentable
+  decoded = decode_request(encode_request(request));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->study_seed, (1ull << 53) + 1);
+}
+
+TEST(StudyRequestTest, AcceptsSmallNumericSeedsForCompatibility) {
+  const std::optional<StudyRequest> decoded =
+      decode_request("{\"study_seed\": 42}");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->study_seed, 42u);
+}
+
 TEST(StudyRequestTest, AbsentFieldsKeepDefaults) {
   const std::optional<StudyRequest> decoded = decode_request("{}");
   ASSERT_TRUE(decoded.has_value());
@@ -59,6 +82,12 @@ TEST(StudyRequestTest, RejectsMalformedDocuments) {
   EXPECT_FALSE(decode_request("{\"use_cache\": \"yes\"}").has_value());
   EXPECT_FALSE(decode_request("{\"timeout_sec\": -2}").has_value());
   EXPECT_FALSE(decode_request("{\"retries\": \"three\"}").has_value());
+  EXPECT_FALSE(decode_request("{\"study_seed\": \"\"}").has_value());
+  EXPECT_FALSE(decode_request("{\"study_seed\": \"12x\"}").has_value());
+  // One past UINT64_MAX must be rejected, not wrapped.
+  EXPECT_FALSE(
+      decode_request("{\"study_seed\": \"18446744073709551616\"}")
+          .has_value());
 }
 
 TEST(StudyStatusTest, RoundTripsStatusAndError) {

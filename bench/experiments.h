@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cli/experiment.h"
+#include "corpus/synthetic.h"
 #include "stream/pipeline.h"
 #include "vdsim/workload.h"
 
@@ -51,6 +52,10 @@ inline constexpr const char* kLowPrevalenceCohort = "low-prevalence cohort";
 inline constexpr const char* kChecksum = "checksum";                 // probe
 inline constexpr const char* kStreamEvaluate = "stream evaluate";    // e18
 inline constexpr const char* kStreamMetrics = "checkpoint metrics";  // e18
+inline constexpr const char* kCorpusSynthesize = "synthesize corpora";  // e19
+inline constexpr const char* kCorpusIntake = "corpus intake";        // e19
+inline constexpr const char* kCorpusRankings = "corpus rankings";    // e19
+inline constexpr const char* kCorpusExternal = "external corpus";    // e19
 }  // namespace stage
 
 void register_e1(cli::ExperimentRegistry& registry);
@@ -71,6 +76,7 @@ void register_e15(cli::ExperimentRegistry& registry);
 void register_e16(cli::ExperimentRegistry& registry);
 void register_e17(cli::ExperimentRegistry& registry);
 void register_e18(cli::ExperimentRegistry& registry);
+void register_e19(cli::ExperimentRegistry& registry);
 
 /// "probe": a deliberately cheap 256-task parallel checksum used by the CI
 /// fault matrix and resilience tests as a drill target for `executor.task`
@@ -90,7 +96,12 @@ void register_probe(cli::ExperimentRegistry& registry);
 /// E18's workload-size checkpoints (one per decade).
 [[nodiscard]] std::vector<std::uint64_t> e18_checkpoints();
 
-/// The full study registry, E1–E18 in order.
+/// The synthetic multi-ecosystem corpora E19 scores (distinct prevalence
+/// and CWE mixes per ecosystem); exported so tests regenerate the exact
+/// manifests/reports and assert intake invariants against them.
+[[nodiscard]] std::vector<corpus::SyntheticCorpusSpec> e19_corpus_specs();
+
+/// The full study registry, E1–E19 in order.
 [[nodiscard]] cli::ExperimentRegistry study_registry();
 
 }  // namespace vdbench::bench

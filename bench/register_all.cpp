@@ -49,6 +49,7 @@ cli::ExperimentRegistry study_registry() {
   register_e16(registry);
   register_e17(registry);
   register_e18(registry);
+  register_e19(registry);
   register_probe(registry);
   return registry;
 }

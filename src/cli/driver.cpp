@@ -82,6 +82,12 @@ options:
                        run's exports are byte-identical to the recorded
                        run's at any thread count (mutually exclusive with
                        --record-log)
+  --sarif-report PATH  score a real SARIF 2.1.0 report in corpus
+                       experiments (E19); requires --ground-truth, and both
+                       files' content digests join those experiments' cache
+                       keys
+  --ground-truth PATH  ground-truth manifest naming the sites the SARIF
+                       report is scored against (see README for the schema)
   --min-hit-rate R     fail the run when the cacheable hit rate is < R
                        (CI warm-cache assertion; default: disabled)
   --quiet              suppress experiment report text
@@ -385,11 +391,13 @@ void injected_hang() {
 // result byte-identical to a first-try one.
 AttemptOutcome run_body(const Experiment& experiment,
                         stats::StageTimer& timer,
-                        const ExperimentContext::StreamRun& stream) {
+                        const ExperimentContext::StreamRun& stream,
+                        const ExperimentContext::CorpusRun& corpus) {
   AttemptOutcome result;
   std::ostringstream capture;
   ExperimentContext context(capture, timer);
   context.stream = stream;
+  context.corpus = corpus;
   try {
     switch (fault::Injector::global().hit("experiment.body", experiment.id)) {
       case fault::Action::kThrow:
@@ -431,8 +439,9 @@ AttemptOutcome run_body(const Experiment& experiment,
 // body are discarded, so partial state can never leak into a retry.
 AttemptOutcome execute_attempt(const Experiment& experiment,
                                double timeout_sec, stats::StageTimer& timer,
-                               const ExperimentContext::StreamRun& stream) {
-  if (timeout_sec <= 0.0) return run_body(experiment, timer, stream);
+                               const ExperimentContext::StreamRun& stream,
+                               const ExperimentContext::CorpusRun& corpus) {
+  if (timeout_sec <= 0.0) return run_body(experiment, timer, stream, corpus);
 
   stats::CancellationToken token;
   stats::ScopedCancellationToken install(&token);
@@ -441,7 +450,7 @@ AttemptOutcome execute_attempt(const Experiment& experiment,
   bool finished = false;
   AttemptOutcome result;
   std::thread runner([&] {
-    AttemptOutcome attempt = run_body(experiment, timer, stream);
+    AttemptOutcome attempt = run_body(experiment, timer, stream, corpus);
     {
       std::lock_guard<std::mutex> lock(mutex);
       result = std::move(attempt);
@@ -655,6 +664,12 @@ std::optional<DriverOptions> parse_args(int argc, const char* const* argv,
     } else if (flag_matches(arg, "--replay-log")) {
       if (!take_value(i, "--replay-log", value)) return std::nullopt;
       options.replay_log = value;
+    } else if (flag_matches(arg, "--sarif-report")) {
+      if (!take_value(i, "--sarif-report", value)) return std::nullopt;
+      options.sarif_report = value;
+    } else if (flag_matches(arg, "--ground-truth")) {
+      if (!take_value(i, "--ground-truth", value)) return std::nullopt;
+      options.ground_truth = value;
     } else if (flag_matches(arg, "--artifact-dir")) {
       if (!take_value(i, "--artifact-dir", value)) return std::nullopt;
       options.artifact_dir = value;
@@ -729,6 +744,11 @@ std::optional<DriverOptions> parse_args(int argc, const char* const* argv,
   }
   if (!options.record_log.empty() && !options.replay_log.empty()) {
     err << "vdbench: --record-log and --replay-log are mutually exclusive\n";
+    return std::nullopt;
+  }
+  if (options.sarif_report.empty() != options.ground_truth.empty()) {
+    err << "vdbench: --sarif-report and --ground-truth must be given "
+           "together\n";
     return std::nullopt;
   }
   return options;
@@ -816,6 +836,32 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
     }
   }
 
+  // Same discipline for external corpus files: digest both before anything
+  // runs (unreadable = usage error), and fold the digests into every corpus
+  // experiment's cache key so two different corpora can never alias.
+  std::uint64_t sarif_digest = 0;
+  std::uint64_t truth_digest = 0;
+  if (!options.sarif_report.empty()) {
+    try {
+      sarif_digest = stream::file_digest(options.sarif_report);
+    } catch (const std::exception& e) {
+      out << "vdbench: cannot read --sarif-report '" << options.sarif_report
+          << "': " << e.what() << "\n";
+      run.exit_code = kExitUsage;
+      if (!options.trace_out.empty()) obs::Tracer::global().stop();
+      return run;
+    }
+    try {
+      truth_digest = stream::file_digest(options.ground_truth);
+    } catch (const std::exception& e) {
+      out << "vdbench: cannot read --ground-truth '" << options.ground_truth
+          << "': " << e.what() << "\n";
+      run.exit_code = kExitUsage;
+      if (!options.trace_out.empty()) obs::Tracer::global().stop();
+      return run;
+    }
+  }
+
   if (options.threads > 0) stats::set_global_threads(options.threads);
   const std::size_t threads = stats::global_executor().thread_count();
   obs::Registry::global().set(obs::Gauge::kThreads,
@@ -855,12 +901,19 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
   for (const Experiment* experiment : selected) {
     const obs::Span experiment_span(obs::names::kDriverExperiment, experiment->id);
     ExperimentContext::StreamRun stream_run;
+    ExperimentContext::CorpusRun corpus_run;
     std::string key_config = experiment->config;
     if (experiment->streaming) {
       stream_run.record_log = options.record_log;
       stream_run.replay_log = options.replay_log;
       if (!options.replay_log.empty())
         key_config += "|replay=" + cache::to_hex64(replay_digest);
+    }
+    if (experiment->corpus && !options.sarif_report.empty()) {
+      corpus_run.sarif_report = options.sarif_report;
+      corpus_run.ground_truth = options.ground_truth;
+      key_config += "|sarif=" + cache::to_hex64(sarif_digest) +
+                    "|truth=" + cache::to_hex64(truth_digest);
     }
     const cache::CacheKey key{experiment->id, key_config, options.study_seed,
                               kEngineSchemaVersion};
@@ -933,7 +986,7 @@ RunOutcome run_driver(const ExperimentRegistry& registry,
         {
           const obs::Span attempt_span(obs::names::kDriverAttempt, experiment->id);
           attempt = execute_attempt(*experiment, options.timeout_sec,
-                                    attempt_timer, stream_run);
+                                    attempt_timer, stream_run, corpus_run);
         }
         const double attempt_seconds = seconds_between(
             attempt_start, std::chrono::steady_clock::now());

@@ -96,6 +96,14 @@ struct DriverOptions {
   /// cache key, so replays of different logs can never alias. Mutually
   /// exclusive with record_log. Empty = off.
   std::string replay_log;
+  /// External SARIF report for corpus experiments (--sarif-report). Must
+  /// be paired with ground_truth; both files' content digests join the
+  /// cache key of every corpus experiment, so a changed report can never
+  /// serve a stale cached result. Empty = synthetic corpora only.
+  std::string sarif_report;
+  /// Ground-truth manifest naming the scored sites (--ground-truth).
+  /// Paired with sarif_report. Empty = synthetic corpora only.
+  std::string ground_truth;
   /// Study seed baked into the experiments; becomes part of every cache
   /// key so a seed change can never serve stale results.
   std::uint64_t study_seed = 0;

@@ -51,10 +51,21 @@ struct ExperimentContext {
     std::string replay_log;  ///< source the stream from this log
   };
 
+  /// External-corpus inputs for corpus experiments, filled by the driver
+  /// from --sarif-report / --ground-truth (both set or both empty; the
+  /// driver enforces the pairing). The driver folds both files' content
+  /// digests into the cache key, so the paths themselves stay out of
+  /// experiment output and cached runs replay byte-identically.
+  struct CorpusRun {
+    std::string sarif_report;  ///< SARIF 2.1.0 report to score
+    std::string ground_truth;  ///< ground-truth manifest naming the sites
+  };
+
   std::ostream& out;
   stats::StageTimer& timer;
   std::vector<Artifact> artifacts;
   StreamRun stream;
+  CorpusRun corpus;
 
   void add_artifact(std::string name, std::string content) {
     artifacts.push_back({std::move(name), std::move(content)});
@@ -85,6 +96,11 @@ struct Experiment {
   /// folds the replay log's content digest into the cache key and skips
   /// cache lookups while recording (a hit would skip log production).
   bool streaming = false;
+  /// True for experiments that accept an external corpus (src/corpus).
+  /// Only these consult ExperimentContext::corpus; for them the driver
+  /// folds the SARIF report's and manifest's content digests into the
+  /// cache key, so changing either file changes the cache address.
+  bool corpus = false;
 };
 
 /// Ordered collection of experiments; ids are unique.

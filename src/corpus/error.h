@@ -1,0 +1,31 @@
+// The corpus intake's typed rejection error.
+//
+// Real-corpus files (SARIF reports, ground-truth manifests) arrive from
+// outside the harness, so the readers follow the report-log corruption
+// policy (stream/report_log.h): ANY structural damage — a truncated tail, a
+// flipped bit, a missing required member, an out-of-range value — raises a
+// CorpusError naming the byte offset where parsing broke, and never
+// degrades to a silent short parse. A corpus that cannot be trusted must
+// fail the run loudly; a benchmark scored against half a ground truth is
+// worse than no benchmark at all.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace vdbench::corpus {
+
+/// Raised for any unusable corpus input. `offset` is the byte position in
+/// the source document where parsing failed; structural JSON errors carry
+/// the exact break point, semantic errors (a missing member, a bad value)
+/// carry the document offset when one is known and 0 otherwise — the
+/// message always names the failing element either way.
+struct CorpusError : std::runtime_error {
+  CorpusError(const std::string& what_arg, std::size_t byte_offset)
+      : std::runtime_error(what_arg), offset(byte_offset) {}
+
+  std::size_t offset = 0;
+};
+
+}  // namespace vdbench::corpus

@@ -1,0 +1,44 @@
+// File intake and evaluation entry points for real corpora.
+//
+// read_sarif_file / read_manifest_file load a document off disk through the
+// `corpus.read` fault point (key = "sarif" / "manifest"): corrupt and
+// truncate mangle the bytes in flight so the readers must reject them with
+// a typed, offset-bearing CorpusError — the torn-corpus discipline CI
+// exercises. evaluate_direct and evaluate_streamed fold matched site
+// records into a confusion matrix either inline or through the bounded
+// stream::ChunkQueue; both produce the identical matrix, and E19 asserts
+// that equality on every run.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "core/confusion.h"
+#include "corpus/manifest.h"
+#include "corpus/sarif.h"
+#include "stream/record.h"
+
+namespace vdbench::corpus {
+
+/// Load and parse a SARIF report. Throws CorpusError when the file cannot
+/// be read or the document is rejected (offset 0 for I/O failures).
+[[nodiscard]] SarifReport read_sarif_file(const std::string& path);
+
+/// Load and parse a ground-truth manifest. Error contract as above.
+[[nodiscard]] Manifest read_manifest_file(const std::string& path);
+
+/// Fold matched records into a confusion matrix inline.
+[[nodiscard]] core::ConfusionMatrix evaluate_direct(
+    std::span<const stream::SiteRecord> records);
+
+/// Same fold, but through a producer thread feeding a bounded ChunkQueue
+/// in chunks of `chunk_sites` records — the streamed intake path. The
+/// result is byte-for-byte the matrix evaluate_direct produces; chunking
+/// and queue capacity affect scheduling only. Throws std::invalid_argument
+/// when chunk_sites == 0; propagates producer/consumer exceptions.
+[[nodiscard]] core::ConfusionMatrix evaluate_streamed(
+    std::span<const stream::SiteRecord> records, std::size_t chunk_sites,
+    std::size_t queue_capacity = 4);
+
+}  // namespace vdbench::corpus

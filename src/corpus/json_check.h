@@ -1,0 +1,89 @@
+// Shared validation helpers for the corpus readers (sarif.cpp,
+// manifest.cpp): parse a document with diagnostics, then pull required /
+// optional members out of it, converting every violation into a typed
+// CorpusError whose message names the failing element (and, for structural
+// damage, the exact byte offset). Internal to src/corpus.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "corpus/error.h"
+#include "report/json_reader.h"
+
+namespace vdbench::corpus::detail {
+
+/// Parse `text` or throw CorpusError("<kind> corrupt: <reason> at offset N
+/// near '…'") carrying the structural break's byte offset.
+inline report::JsonValue parse_document(std::string_view text,
+                                        std::string_view kind) {
+  report::JsonError error;
+  std::optional<report::JsonValue> doc = report::parse_json(text, &error);
+  if (!doc)
+    throw CorpusError(std::string(kind) + " corrupt: " + error.message(),
+                      error.offset);
+  if (!doc->is_object())
+    throw CorpusError(std::string(kind) + " corrupt: document root is not "
+                      "an object at offset 0",
+                      0);
+  return std::move(*doc);
+}
+
+/// Semantic violation (missing member, wrong type, out-of-range value):
+/// no byte offset is available from the parsed tree, so the message names
+/// the failing element path instead.
+[[noreturn]] inline void fail_invalid(std::string_view kind,
+                                      const std::string& detail) {
+  throw CorpusError(std::string(kind) + " invalid: " + detail, 0);
+}
+
+inline const report::JsonValue& require_member(const report::JsonValue& obj,
+                                               std::string_view key,
+                                               std::string_view kind,
+                                               const std::string& path) {
+  const report::JsonValue* member = obj.member(key);
+  if (member == nullptr)
+    fail_invalid(kind, path + " is missing required member '" +
+                           std::string(key) + "'");
+  return *member;
+}
+
+inline const std::string& require_string(const report::JsonValue& value,
+                                         std::string_view kind,
+                                         const std::string& path) {
+  const std::string* s = value.as_string();
+  if (s == nullptr) fail_invalid(kind, path + " must be a string");
+  return *s;
+}
+
+inline double require_number(const report::JsonValue& value,
+                             std::string_view kind, const std::string& path) {
+  const std::optional<double> n = value.as_number();
+  if (!n) fail_invalid(kind, path + " must be a number");
+  return *n;
+}
+
+/// Positive integral value fitting a uint32 (SARIF line/column numbers).
+inline std::uint32_t require_line(const report::JsonValue& value,
+                                  std::string_view kind,
+                                  const std::string& path) {
+  const double n = require_number(value, kind, path);
+  if (n < 1.0 || n > 4294967295.0 ||
+      n != static_cast<double>(static_cast<std::uint64_t>(n)))
+    fail_invalid(kind, path + " must be a positive integer");
+  return static_cast<std::uint32_t>(n);
+}
+
+inline const std::vector<report::JsonValue>& require_array(
+    const report::JsonValue& value, std::string_view kind,
+    const std::string& path) {
+  const std::vector<report::JsonValue>* items = value.as_array();
+  if (items == nullptr) fail_invalid(kind, path + " must be an array");
+  return *items;
+}
+
+}  // namespace vdbench::corpus::detail

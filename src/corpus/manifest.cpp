@@ -1,0 +1,123 @@
+#include "corpus/manifest.h"
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpus/json_check.h"
+#include "obs/names.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace vdbench::corpus {
+
+namespace {
+
+constexpr std::string_view kKind = "ground-truth manifest";
+
+}  // namespace
+
+std::optional<vdsim::VulnClass> vuln_class_from_cwe(std::string_view cwe) {
+  for (const vdsim::VulnClass c : vdsim::all_vuln_classes())
+    if (vdsim::vuln_class_cwe(c) == cwe) return c;
+  return std::nullopt;
+}
+
+Manifest parse_manifest(std::string_view text) {
+  const obs::Span span(obs::names::kCorpusParseManifest);
+  const report::JsonValue doc = detail::parse_document(text, kKind);
+
+  const double schema = detail::require_number(
+      detail::require_member(doc, "schema", kKind, "document"), kKind,
+      "schema");
+  if (schema != static_cast<double>(kManifestSchemaVersion))
+    detail::fail_invalid(
+        kKind, "schema version " + std::to_string(schema) +
+                   " not supported (reader speaks " +
+                   std::to_string(kManifestSchemaVersion) + ")");
+
+  Manifest manifest;
+  manifest.name = detail::require_string(
+      detail::require_member(doc, "name", kKind, "document"), kKind, "name");
+
+  if (const report::JsonValue* rules = doc.member("rules")) {
+    const auto* members = rules->as_object();
+    if (members == nullptr)
+      detail::fail_invalid(kKind, "rules must be an object");
+    for (const auto& [rule_id, cwe] : *members)
+      manifest.rules.emplace(
+          rule_id,
+          detail::require_string(cwe, kKind, "rules." + rule_id));
+  }
+
+  const std::vector<report::JsonValue>& ecosystems = detail::require_array(
+      detail::require_member(doc, "ecosystems", kKind, "document"), kKind,
+      "ecosystems");
+  if (ecosystems.empty())
+    detail::fail_invalid(kKind, "ecosystems must not be empty");
+
+  std::set<std::pair<std::string, std::uint32_t>> seen;
+  for (std::size_t e = 0; e < ecosystems.size(); ++e) {
+    const std::string eco_path = "ecosystems[" + std::to_string(e) + "]";
+    if (!ecosystems[e].is_object())
+      detail::fail_invalid(kKind, eco_path + " must be an object");
+    Ecosystem eco;
+    eco.name = detail::require_string(
+        detail::require_member(ecosystems[e], "name", kKind, eco_path), kKind,
+        eco_path + ".name");
+    const std::vector<report::JsonValue>& sites = detail::require_array(
+        detail::require_member(ecosystems[e], "sites", kKind, eco_path),
+        kKind, eco_path + ".sites");
+    if (sites.empty())
+      detail::fail_invalid(kKind, eco_path + ".sites must not be empty");
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      const std::string site_path =
+          eco_path + ".sites[" + std::to_string(s) + "]";
+      if (!sites[s].is_object())
+        detail::fail_invalid(kKind, site_path + " must be an object");
+      TruthSite site;
+      site.uri = detail::require_string(
+          detail::require_member(sites[s], "uri", kKind, site_path), kKind,
+          site_path + ".uri");
+      site.line = detail::require_line(
+          detail::require_member(sites[s], "line", kKind, site_path), kKind,
+          site_path + ".line");
+      const std::optional<bool> vulnerable =
+          detail::require_member(sites[s], "vulnerable", kKind, site_path)
+              .as_bool();
+      if (!vulnerable)
+        detail::fail_invalid(kKind, site_path + ".vulnerable must be a bool");
+      site.vulnerable = *vulnerable;
+      if (site.vulnerable) {
+        const std::string& cwe = detail::require_string(
+            detail::require_member(sites[s], "cwe", kKind, site_path), kKind,
+            site_path + ".cwe");
+        const std::optional<vdsim::VulnClass> cls = vuln_class_from_cwe(cwe);
+        if (!cls)
+          detail::fail_invalid(kKind, site_path + ".cwe '" + cwe +
+                                          "' is outside the taxonomy");
+        site.vuln_class = *cls;
+      }
+      if (const report::JsonValue* difficulty = sites[s].member("difficulty")) {
+        site.difficulty = detail::require_number(*difficulty, kKind,
+                                                 site_path + ".difficulty");
+        if (site.difficulty < 0.0 || site.difficulty > 1.0)
+          detail::fail_invalid(kKind,
+                               site_path + ".difficulty must be in [0, 1]");
+      }
+      if (!seen.emplace(site.uri, site.line).second)
+        detail::fail_invalid(
+            kKind, "duplicate site (" + site.uri + ", line " +
+                       std::to_string(site.line) +
+                       ") at " + site_path +
+                       " — two truths for one location cannot be scored");
+      eco.sites.push_back(std::move(site));
+    }
+    manifest.ecosystems.push_back(std::move(eco));
+  }
+  obs::count(obs::Counter::kCorpusSites, manifest.site_count());
+  return manifest;
+}
+
+}  // namespace vdbench::corpus

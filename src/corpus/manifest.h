@@ -1,0 +1,90 @@
+// Versioned ground-truth manifest: which sites exist, which are really
+// vulnerable, and how tool rule ids map onto the CWE taxonomy.
+//
+// The DSN'15 study could score tools because its benchmark knew the truth
+// per candidate site; the multi-ecosystem follow-ups (PAPERS.md) show the
+// same conclusions shift with per-ecosystem prevalence and CWE mix. The
+// manifest captures exactly that: a corpus is a list of ecosystems, each a
+// list of enumerated candidate sites with a vulnerable/clean label, a CWE
+// class for the vulnerable ones, and a difficulty in [0,1]; a top-level
+// rules table maps tool rule ids to CWE identifiers so SARIF findings can
+// be classified. Schema:
+//
+//   {
+//     "schema": 1,
+//     "name": "lint-fixtures",
+//     "rules": { "vdl-rand": "CWE-327", ... },
+//     "ecosystems": [
+//       { "name": "cpp-fixtures",
+//         "sites": [
+//           { "uri": "tests/lint/fixtures/rand_fire.cpp", "line": 5,
+//             "cwe": "CWE-327", "vulnerable": true, "difficulty": 0.4 },
+//           { "uri": "tests/lint/fixtures/rand_clean.cpp", "line": 3,
+//             "vulnerable": false } ] } ]
+//   }
+//
+// `cwe` is required (and must be in the vdsim taxonomy) for vulnerable
+// sites; `difficulty` defaults to 0.5. Site identity is (uri, line) across
+// the WHOLE manifest — a duplicate anywhere is an ambiguity and rejected
+// with a CorpusError, because two truths for one location cannot be scored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/error.h"
+#include "vdsim/vuln.h"
+
+namespace vdbench::corpus {
+
+/// The manifest schema this reader speaks; documents must declare it.
+inline constexpr std::uint32_t kManifestSchemaVersion = 1;
+
+/// One enumerated candidate site with its ground truth.
+struct TruthSite {
+  std::string uri;
+  std::uint32_t line = 0;
+  bool vulnerable = false;
+  vdsim::VulnClass vuln_class{};  ///< meaningful only when vulnerable
+  double difficulty = 0.5;        ///< in [0, 1]
+
+  friend bool operator==(const TruthSite&, const TruthSite&) = default;
+};
+
+/// One ecosystem: a named group of sites sharing a prevalence and CWE mix.
+struct Ecosystem {
+  std::string name;
+  std::vector<TruthSite> sites;
+};
+
+/// A parsed ground-truth manifest.
+struct Manifest {
+  std::string name;
+  /// Tool rule id → CWE identifier (e.g. "CWE-89"). CWEs outside the
+  /// vdsim taxonomy are legal here — findings under them classify as
+  /// kUnknownClass at match time (see corpus/matcher.h).
+  std::map<std::string, std::string, std::less<>> rules;
+  std::vector<Ecosystem> ecosystems;
+
+  /// Enumerated sites across all ecosystems.
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    std::size_t n = 0;
+    for (const Ecosystem& eco : ecosystems) n += eco.sites.size();
+    return n;
+  }
+};
+
+/// Map a CWE identifier onto the vdsim taxonomy; nullopt when outside it.
+[[nodiscard]] std::optional<vdsim::VulnClass> vuln_class_from_cwe(
+    std::string_view cwe);
+
+/// Parse a manifest document. Throws CorpusError on structural damage
+/// (with the exact byte offset), a schema mismatch, a missing/ill-typed
+/// member, an unknown CWE on a vulnerable site, or a duplicate (uri, line).
+[[nodiscard]] Manifest parse_manifest(std::string_view text);
+
+}  // namespace vdbench::corpus

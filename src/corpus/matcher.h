@@ -1,0 +1,66 @@
+// Join SARIF findings to ground-truth sites by location, producing the
+// stream::SiteRecord view the rest of the pipeline scores.
+//
+// Ambiguity policy (every clause is load-bearing; tests pin each one):
+//
+//  1. Site identity is (uri, startLine), compared byte-for-byte; columns
+//     are ignored (real tools disagree on columns far more than lines).
+//  2. The manifest enumerates the scoring universe: service index =
+//     ecosystem ordinal, site index = site ordinal within its ecosystem,
+//     and records come out in exactly that order — deterministic
+//     regardless of finding order in the report.
+//  3. Duplicate manifest sites were already rejected at parse time
+//     (corpus/manifest.h), so a finding matches at most one site.
+//  4. Several findings on one site: the highest properties.confidence
+//     wins; a finding without confidence ranks below any with one; ties
+//     go to the earliest in document order. The losers are counted as
+//     duplicates and otherwise ignored.
+//  5. A finding whose (uri, line) matches no enumerated site is STRAY:
+//     counted and reported loudly, but excluded from the confusion
+//     counts — only enumerated sites are scored, because a site the
+//     manifest never classified has no truth to score against.
+//  6. A matched finding whose ruleId is missing from the manifest's rules
+//     table, or maps to a CWE outside the vdsim taxonomy, claims
+//     kUnknownClass — a sentinel distinct from every real class and from
+//     stream::kNoFinding, so stream::accumulate scores it as a false
+//     positive (plus a miss when the site is really vulnerable): claiming
+//     an unclassifiable defect is an alarm, not a detection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/manifest.h"
+#include "corpus/sarif.h"
+#include "stream/record.h"
+
+namespace vdbench::corpus {
+
+/// Claimed-class sentinel for findings with no taxonomy mapping (policy
+/// clause 6). Distinct from stream::kNoFinding and every class index.
+inline constexpr std::uint8_t kUnknownClass = 0xFE;
+
+/// What the join observed (reported alongside the scored records so stray
+/// and duplicate findings stay visible).
+struct MatchStats {
+  std::uint64_t sites = 0;         ///< enumerated sites scored
+  std::uint64_t matched = 0;       ///< findings joined to a site (winners)
+  std::uint64_t stray = 0;         ///< findings matching no site (clause 5)
+  std::uint64_t duplicates = 0;    ///< losing findings on claimed sites
+  std::uint64_t unknown_rule = 0;  ///< winners classified kUnknownClass
+
+  friend bool operator==(const MatchStats&, const MatchStats&) = default;
+};
+
+struct MatchResult {
+  /// One record per manifest site, in manifest order.
+  std::vector<stream::SiteRecord> records;
+  MatchStats stats;
+};
+
+/// Join `report`'s findings onto `manifest`'s sites under the policy
+/// above. Deterministic: same inputs, same records, same stats.
+[[nodiscard]] MatchResult match_findings(const Manifest& manifest,
+                                         const SarifReport& report);
+
+}  // namespace vdbench::corpus

@@ -1,0 +1,140 @@
+#include "corpus/sarif.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corpus/json_check.h"
+#include "obs/names.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace vdbench::corpus {
+
+namespace {
+
+constexpr std::string_view kKind = "SARIF report";
+
+std::string indexed(const std::string& prefix, std::size_t i) {
+  return prefix + "[" + std::to_string(i) + "]";
+}
+
+SarifRule parse_rule(const report::JsonValue& rule, const std::string& path) {
+  if (!rule.is_object()) detail::fail_invalid(kKind, path + " must be an object");
+  SarifRule parsed;
+  parsed.id = detail::require_string(
+      detail::require_member(rule, "id", kKind, path), kKind, path + ".id");
+  if (const report::JsonValue* desc = rule.member("shortDescription"))
+    parsed.short_description = detail::require_string(
+        detail::require_member(*desc, "text", kKind,
+                               path + ".shortDescription"),
+        kKind, path + ".shortDescription.text");
+  if (const report::JsonValue* config = rule.member("defaultConfiguration"))
+    if (const report::JsonValue* level = config->member("level"))
+      parsed.level = detail::require_string(
+          *level, kKind, path + ".defaultConfiguration.level");
+  return parsed;
+}
+
+SarifFinding parse_result(const report::JsonValue& result,
+                          const std::string& path) {
+  if (!result.is_object())
+    detail::fail_invalid(kKind, path + " must be an object");
+  SarifFinding finding;
+  finding.rule_id = detail::require_string(
+      detail::require_member(result, "ruleId", kKind, path), kKind,
+      path + ".ruleId");
+  finding.level = "warning";  // the SARIF default when level is omitted
+  if (const report::JsonValue* level = result.member("level"))
+    finding.level = detail::require_string(*level, kKind, path + ".level");
+  if (const report::JsonValue* message = result.member("message"))
+    finding.message = detail::require_string(
+        detail::require_member(*message, "text", kKind, path + ".message"),
+        kKind, path + ".message.text");
+
+  const std::vector<report::JsonValue>& locations = detail::require_array(
+      detail::require_member(result, "locations", kKind, path), kKind,
+      path + ".locations");
+  if (locations.empty())
+    detail::fail_invalid(kKind, path + ".locations must not be empty");
+  const std::string loc_path = path + ".locations[0].physicalLocation";
+  const report::JsonValue& physical = detail::require_member(
+      locations.front(), "physicalLocation", kKind, path + ".locations[0]");
+  const report::JsonValue& artifact = detail::require_member(
+      physical, "artifactLocation", kKind, loc_path);
+  finding.uri = detail::require_string(
+      detail::require_member(artifact, "uri", kKind,
+                             loc_path + ".artifactLocation"),
+      kKind, loc_path + ".artifactLocation.uri");
+  const report::JsonValue& region =
+      detail::require_member(physical, "region", kKind, loc_path);
+  finding.line = detail::require_line(
+      detail::require_member(region, "startLine", kKind, loc_path + ".region"),
+      kKind, loc_path + ".region.startLine");
+  if (const report::JsonValue* column = region.member("startColumn"))
+    finding.column = detail::require_line(*column, kKind,
+                                          loc_path + ".region.startColumn");
+
+  if (const report::JsonValue* properties = result.member("properties"))
+    if (const report::JsonValue* confidence = properties->member("confidence")) {
+      finding.confidence = detail::require_number(
+          *confidence, kKind, path + ".properties.confidence");
+      if (finding.confidence < 0.0 || finding.confidence > 1.0)
+        detail::fail_invalid(
+            kKind, path + ".properties.confidence must be in [0, 1]");
+    }
+  return finding;
+}
+
+}  // namespace
+
+SarifReport parse_sarif(std::string_view text) {
+  const obs::Span span(obs::names::kCorpusParseSarif);
+  const report::JsonValue doc = detail::parse_document(text, kKind);
+
+  const std::string& version = detail::require_string(
+      detail::require_member(doc, "version", kKind, "document"), kKind,
+      "version");
+  if (version != "2.1.0")
+    detail::fail_invalid(kKind, "unsupported SARIF version '" + version +
+                                    "' (reader speaks 2.1.0)");
+
+  const std::vector<report::JsonValue>& runs = detail::require_array(
+      detail::require_member(doc, "runs", kKind, "document"), kKind, "runs");
+  if (runs.empty()) detail::fail_invalid(kKind, "runs must not be empty");
+
+  SarifReport parsed;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const std::string run_path = indexed("runs", r);
+    const report::JsonValue& driver = detail::require_member(
+        detail::require_member(runs[r], "tool", kKind, run_path), "driver",
+        kKind, run_path + ".tool");
+    const std::string& name = detail::require_string(
+        detail::require_member(driver, "name", kKind,
+                               run_path + ".tool.driver"),
+        kKind, run_path + ".tool.driver.name");
+    if (r == 0) {
+      parsed.tool_name = name;
+      if (const report::JsonValue* version_member = driver.member("version"))
+        parsed.tool_version = detail::require_string(
+            *version_member, kKind, run_path + ".tool.driver.version");
+    }
+    if (const report::JsonValue* rules = driver.member("rules")) {
+      const std::vector<report::JsonValue>& items = detail::require_array(
+          *rules, kKind, run_path + ".tool.driver.rules");
+      for (std::size_t i = 0; i < items.size(); ++i)
+        parsed.rules.push_back(parse_rule(
+            items[i], indexed(run_path + ".tool.driver.rules", i)));
+    }
+    const std::vector<report::JsonValue>& results = detail::require_array(
+        detail::require_member(runs[r], "results", kKind, run_path), kKind,
+        run_path + ".results");
+    for (std::size_t i = 0; i < results.size(); ++i)
+      parsed.findings.push_back(
+          parse_result(results[i], indexed(run_path + ".results", i)));
+  }
+  obs::count(obs::Counter::kCorpusFindings, parsed.findings.size());
+  return parsed;
+}
+
+}  // namespace vdbench::corpus

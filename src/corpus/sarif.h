@@ -1,0 +1,67 @@
+// SARIF 2.1.0 subset reader — the intake side of lint/output.h's writer.
+//
+// Every real static analyzer speaks SARIF, so this reader is what turns
+// vdbench from a simulator harness into a benchmark any tool's output can
+// enter. It covers exactly the subset the harness needs (and that vdlint's
+// own --sarif writer emits, which pins the format from the producing side:
+// tests/lint/expected_fixtures.sarif is this reader's first corpus):
+//
+//   runs[].tool.driver.{name, version, rules[].{id,
+//       shortDescription.text, defaultConfiguration.level}}
+//   runs[].results[].{ruleId, level, message.text,
+//       locations[0].physicalLocation.{artifactLocation.uri,
+//       region.{startLine, startColumn}},
+//       properties.confidence}            (confidence is a vdbench extension)
+//
+// Unknown members are ignored (SARIF is deliberately extensible); missing
+// REQUIRED members and structurally damaged documents raise a typed
+// CorpusError naming the byte offset — never a silent short parse (see
+// corpus/error.h for the policy).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/error.h"
+
+namespace vdbench::corpus {
+
+/// One tool.driver.rules[] entry.
+struct SarifRule {
+  std::string id;
+  std::string short_description;  ///< shortDescription.text; "" when absent
+  std::string level;              ///< defaultConfiguration.level; "" absent
+
+  friend bool operator==(const SarifRule&, const SarifRule&) = default;
+};
+
+/// One runs[].results[] entry, flattened to its first physical location.
+struct SarifFinding {
+  std::string rule_id;
+  std::string level;    ///< "warning" when the document omits it
+  std::string message;  ///< message.text; "" when absent
+  std::string uri;      ///< locations[0] artifactLocation.uri
+  std::uint32_t line = 0;    ///< region.startLine (1-based, required)
+  std::uint32_t column = 0;  ///< region.startColumn; 0 when absent
+  /// properties.confidence in [0, 1]; negative when the tool reports none.
+  double confidence = -1.0;
+
+  friend bool operator==(const SarifFinding&, const SarifFinding&) = default;
+};
+
+/// A parsed report: tool identity, rule inventory, findings across all
+/// runs (multi-run documents concatenate; the first run names the tool).
+struct SarifReport {
+  std::string tool_name;
+  std::string tool_version;
+  std::vector<SarifRule> rules;
+  std::vector<SarifFinding> findings;
+};
+
+/// Parse a SARIF document. Throws CorpusError on structural damage (with
+/// the exact byte offset) or on a missing/ill-typed required member.
+[[nodiscard]] SarifReport parse_sarif(std::string_view text);
+
+}  // namespace vdbench::corpus

@@ -1,0 +1,70 @@
+// Deterministic synthetic corpora: manifest + SARIF pairs generated
+// in-process from a seed, so E19 can exercise the full intake pipeline
+// (parse → match → confusion → metrics → MCDA) without external files and
+// stay cacheable — no wall clock, no filesystem, no randomness beyond the
+// seeded stats::Rng with a fixed split-call sequence.
+//
+// Each ecosystem gets its own prevalence and CWE mix, which is exactly the
+// knob the prevalence-sensitivity headline of the paper turns: the same
+// tool population scored over ecosystems with different base rates ranks
+// differently under prevalence-sensitive metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "corpus/manifest.h"
+#include "corpus/sarif.h"
+#include "vdsim/tool.h"
+#include "vdsim/vuln.h"
+
+namespace vdbench::corpus {
+
+/// One synthetic ecosystem: `sites` candidate sites of which a `prevalence`
+/// fraction (by Bernoulli draw) is vulnerable, with classes drawn from
+/// `class_mix` (categorical weights over the vdsim taxonomy).
+struct SyntheticEcosystemSpec {
+  std::string name;
+  std::uint32_t sites = 0;
+  double prevalence = 0.1;
+  vdsim::PerClass<double> class_mix{};
+};
+
+/// A whole synthetic corpus. `seed` fully determines the output.
+struct SyntheticCorpusSpec {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::vector<SyntheticEcosystemSpec> ecosystems;
+};
+
+/// Rule id a synthetic tool uses for class `c`: "synth-<CWE>".
+[[nodiscard]] std::string synthetic_rule_id(vdsim::VulnClass c);
+
+/// Generate the ground truth for `spec`. Site uris embed the corpus and
+/// ecosystem names, so (uri, line) is globally unique and two corpora never
+/// collide. The manifest's rules table maps every synthetic_rule_id onto
+/// its CWE. Deterministic: same spec, same manifest.
+[[nodiscard]] Manifest synthesize_manifest(const SyntheticCorpusSpec& spec);
+
+/// Run one simulated tool over the corpus and render its verdicts as a
+/// SARIF report: per vulnerable site a sensitivity[class] Bernoulli decides
+/// detection (confidence ~ Normal(confidence_tp_mean, sd) clamped to
+/// [0,1]); per clean site a fallout Bernoulli decides a false alarm with a
+/// uniformly random claimed class (confidence around confidence_fp_mean).
+/// Deterministic given (spec.seed, tool.name): reports for different tools
+/// over the same manifest are independent but individually reproducible.
+[[nodiscard]] SarifReport synthesize_report(const SyntheticCorpusSpec& spec,
+                                            const Manifest& manifest,
+                                            const vdsim::ToolProfile& tool);
+
+/// Render `manifest` as its canonical JSON document (schema 1, compact,
+/// byte-deterministic). parse_manifest(render) reproduces the manifest.
+[[nodiscard]] std::string render_manifest(const Manifest& manifest);
+
+/// Render `report` as a SARIF 2.1.0 document the corpus reader accepts
+/// (compact, byte-deterministic). parse_sarif(render) reproduces it.
+[[nodiscard]] std::string render_sarif_report(const SarifReport& report);
+
+}  // namespace vdbench::corpus

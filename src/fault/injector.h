@@ -17,6 +17,9 @@
 //   net.write         wire-frame writes      (key = peer role, "server"/"client")
 //   net.frame         wire-frame validation  (key = peer role; corrupt/truncate
 //                     mangle the received bytes so the checksum rejects them)
+//   corpus.read       corpus file reads      (key = file kind, "sarif"/
+//                     "manifest"; corrupt/truncate mangle the bytes so the
+//                     reader rejects them with a typed CorpusError)
 //
 // A schedule is armed from a spec string (the `VDBENCH_FAULTS` environment
 // variable for the vdbench binary; `Injector::arm` in tests):
@@ -60,7 +63,7 @@ namespace vdbench::fault {
 inline constexpr const char* kKnownPoints[] = {
     "cache.read",     "cache.write",    "experiment.body", "executor.task",
     "manifest.write", "stream.produce", "stream.consume",  "net.accept",
-    "net.read",       "net.write",      "net.frame"};
+    "net.read",       "net.write",      "net.frame",       "corpus.read"};
 
 /// What a firing rule asks the call site to simulate.
 enum class Action {

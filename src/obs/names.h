@@ -54,6 +54,12 @@ inline constexpr const char* kNetSession = "net.session";
 inline constexpr const char* kNetReject = "net.reject";
 inline constexpr const char* kNetDrain = "net.drain";
 
+// Real-corpus intake (corpus/sarif.cpp, corpus/manifest.cpp,
+// corpus/matcher.cpp).
+inline constexpr const char* kCorpusParseSarif = "corpus.parse_sarif";
+inline constexpr const char* kCorpusParseManifest = "corpus.parse_manifest";
+inline constexpr const char* kCorpusMatch = "corpus.match";
+
 // Driver StageTimer phases (timer scopes double as spans).
 inline constexpr const char* kPhaseCacheReplay = "cache replay";
 inline constexpr const char* kPhaseCacheStore = "cache store";
@@ -67,6 +73,7 @@ inline constexpr const char* kAllSpans[] = {
     kCacheStore,          kCacheCorrupt,   kFaultFire,      kStudyStage1,
     kStudyStage2,         kBatchEvaluateMetric, kBatchEvaluateAll,
     kStreamProduce,       kStreamConsume,  kNetSession,     kNetReject,
-    kNetDrain,            kPhaseCacheReplay,    kPhaseCacheStore};
+    kNetDrain,            kCorpusParseSarif,    kCorpusParseManifest,
+    kCorpusMatch,         kPhaseCacheReplay,    kPhaseCacheStore};
 
 }  // namespace vdbench::obs::names

@@ -34,6 +34,10 @@ std::string_view counter_name(Counter counter) noexcept {
     case Counter::kNetSessionsCompleted: return "net.sessions.completed";
     case Counter::kNetBytesIn: return "net.bytes.in";
     case Counter::kNetBytesOut: return "net.bytes.out";
+    case Counter::kCorpusReads: return "corpus.reads";
+    case Counter::kCorpusFindings: return "corpus.findings";
+    case Counter::kCorpusSites: return "corpus.sites";
+    case Counter::kCorpusStrayFindings: return "corpus.findings.stray";
   }
   return "unknown";
 }

@@ -57,8 +57,12 @@ enum class Counter : std::size_t {
   kNetSessionsCompleted,     ///< sessions that ran a study to a final status
   kNetBytesIn,               ///< wire bytes the daemon read from clients
   kNetBytesOut,              ///< wire bytes the daemon wrote to clients
+  kCorpusReads,              ///< corpus files (SARIF / manifest) read from disk
+  kCorpusFindings,           ///< SARIF results parsed through the corpus reader
+  kCorpusSites,              ///< ground-truth sites matched into site records
+  kCorpusStrayFindings,      ///< findings matching no manifest site (excluded)
 };
-inline constexpr std::size_t kCounterCount = 28;
+inline constexpr std::size_t kCounterCount = 32;
 
 /// Point-in-time values (last write wins; no aggregation).
 enum class Gauge : std::size_t {

@@ -1,5 +1,6 @@
 #include "report/json_reader.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -23,6 +24,11 @@ const std::string* JsonValue::as_string() const {
 
 const std::vector<JsonValue>* JsonValue::as_array() const {
   return kind_ == Kind::kArray ? &array_ : nullptr;
+}
+
+const std::map<std::string, JsonValue, std::less<>>* JsonValue::as_object()
+    const {
+  return kind_ == Kind::kObject ? &object_ : nullptr;
 }
 
 const JsonValue* JsonValue::member(std::string_view key) const {
@@ -71,18 +77,37 @@ JsonValue JsonValue::make_object(
 
 namespace {
 
+// Printable window of `text` around `offset` for error excerpts: up to 12
+// bytes either side, control and non-ASCII bytes rendered as '.'.
+std::string excerpt_around(std::string_view text, std::size_t offset) {
+  constexpr std::size_t kRadius = 12;
+  const std::size_t begin = offset > kRadius ? offset - kRadius : 0;
+  const std::size_t end = std::min(text.size(), offset + kRadius);
+  std::string window;
+  window.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    window += (c >= 0x20 && c < 0x7F) ? static_cast<char>(c) : '.';
+  }
+  return window;
+}
+
 // Recursive-descent parser over a string_view cursor. Failure is signalled
 // by returning nullopt up the call chain; no exceptions, no partial reads.
+// When a JsonError sink is attached, the FIRST fail() — the deepest point
+// the grammar reached — records the byte offset, reason and excerpt.
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  explicit Parser(std::string_view text, JsonError* error = nullptr)
+      : text_(text), error_(error) {}
 
   std::optional<JsonValue> parse_document() {
     skip_ws();
     std::optional<JsonValue> value = parse_value();
     if (!value) return std::nullopt;
     skip_ws();
-    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    if (pos_ != text_.size())
+      return fail(pos_, "trailing content after document");
     return value;
   }
 
@@ -90,6 +115,16 @@ class Parser {
   // Matches the writer's worst case (payload > artifacts array > strings)
   // with plenty of slack; bounds stack use on adversarial input.
   static constexpr std::size_t kMaxDepth = 64;
+
+  // Record the first failure (deepest grammar point) and signal nullopt.
+  std::nullopt_t fail(std::size_t offset, const char* reason) {
+    if (error_ != nullptr && error_->reason.empty()) {
+      error_->offset = offset;
+      error_->reason = reason;
+      error_->excerpt = excerpt_around(text_, offset);
+    }
+    return std::nullopt;
+  }
 
   void skip_ws() {
     while (pos_ < text_.size() &&
@@ -114,7 +149,8 @@ class Parser {
   }
 
   std::optional<JsonValue> parse_value() {
-    if (depth_ > kMaxDepth || at_end()) return std::nullopt;
+    if (depth_ > kMaxDepth) return fail(pos_, "nesting too deep");
+    if (at_end()) return fail(pos_, "unexpected end of document");
     switch (peek()) {
       case '{':
         return parse_object();
@@ -128,15 +164,15 @@ class Parser {
       case 't':
         return consume_literal("true")
                    ? std::optional<JsonValue>(JsonValue::make_bool(true))
-                   : std::nullopt;
+                   : fail(pos_, "invalid literal");
       case 'f':
         return consume_literal("false")
                    ? std::optional<JsonValue>(JsonValue::make_bool(false))
-                   : std::nullopt;
+                   : fail(pos_, "invalid literal");
       case 'n':
         return consume_literal("null")
                    ? std::optional<JsonValue>(JsonValue::make_null())
-                   : std::nullopt;
+                   : fail(pos_, "invalid literal");
       default:
         return parse_number();
     }
@@ -156,7 +192,7 @@ class Parser {
       std::optional<std::string> key = parse_string();
       if (!key) return std::nullopt;
       skip_ws();
-      if (!consume(':')) return std::nullopt;
+      if (!consume(':')) return fail(pos_, "expected ':' after object key");
       skip_ws();
       std::optional<JsonValue> value = parse_value();
       if (!value) return std::nullopt;
@@ -164,7 +200,7 @@ class Parser {
       skip_ws();
       if (consume(',')) continue;
       if (consume('}')) break;
-      return std::nullopt;
+      return fail(pos_, "expected ',' or '}' in object");
     }
     --depth_;
     return JsonValue::make_object(std::move(members));
@@ -187,25 +223,37 @@ class Parser {
       skip_ws();
       if (consume(',')) continue;
       if (consume(']')) break;
-      return std::nullopt;
+      return fail(pos_, "expected ',' or ']' in array");
     }
     --depth_;
     return JsonValue::make_array(std::move(items));
   }
 
   std::optional<std::string> parse_string() {
-    if (!consume('"')) return std::nullopt;
+    if (!consume('"')) {
+      fail(pos_, "expected '\"'");
+      return std::nullopt;
+    }
     std::string out;
     while (true) {
-      if (at_end()) return std::nullopt;
+      if (at_end()) {
+        fail(pos_, "unterminated string");
+        return std::nullopt;
+      }
       const char ch = text_[pos_++];
       if (ch == '"') return out;
-      if (static_cast<unsigned char>(ch) < 0x20) return std::nullopt;
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        fail(pos_ - 1, "unescaped control character in string");
+        return std::nullopt;
+      }
       if (ch != '\\') {
         out += ch;
         continue;
       }
-      if (at_end()) return std::nullopt;
+      if (at_end()) {
+        fail(pos_, "unterminated string");
+        return std::nullopt;
+      }
       const char esc = text_[pos_++];
       switch (esc) {
         case '"': out += '"'; break;
@@ -223,13 +271,17 @@ class Parser {
           break;
         }
         default:
+          fail(pos_ - 1, "invalid escape in string");
           return std::nullopt;
       }
     }
   }
 
   std::optional<unsigned> parse_hex4() {
-    if (pos_ + 4 > text_.size()) return std::nullopt;
+    if (pos_ + 4 > text_.size()) {
+      fail(pos_, "invalid \\u escape");
+      return std::nullopt;
+    }
     unsigned code = 0;
     for (int i = 0; i < 4; ++i) {
       const char c = text_[pos_++];
@@ -240,8 +292,10 @@ class Parser {
         code += static_cast<unsigned>(c - 'a') + 10;
       else if (c >= 'A' && c <= 'F')
         code += static_cast<unsigned>(c - 'A') + 10;
-      else
+      else {
+        fail(pos_ - 1, "invalid \\u escape");
         return std::nullopt;
+      }
     }
     return code;
   }
@@ -266,11 +320,11 @@ class Parser {
     const std::size_t start = pos_;
     if (!at_end() && peek() == '-') ++pos_;
     if (at_end() || !std::isdigit(static_cast<unsigned char>(peek())))
-      return std::nullopt;
+      return fail(start, "expected a value");
     // RFC 8259: a leading zero may only be the sole integer digit.
     if (peek() == '0' && pos_ + 1 < text_.size() &&
         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
-      return std::nullopt;
+      return fail(start, "invalid number");
     while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
                          peek() == '.' || peek() == 'e' || peek() == 'E' ||
                          peek() == '+' || peek() == '-'))
@@ -280,19 +334,30 @@ class Parser {
                                            text_.data() + pos_, number);
     if (ec != std::errc() || end != text_.data() + pos_ ||
         !std::isfinite(number))
-      return std::nullopt;
+      return fail(start, "invalid number");
     return JsonValue::make_number(number);
   }
 
   std::string_view text_;
+  JsonError* error_ = nullptr;
   std::size_t pos_ = 0;
   std::size_t depth_ = 0;
 };
 
 }  // namespace
 
+std::string JsonError::message() const {
+  return reason + " at offset " + std::to_string(offset) + " near '" +
+         excerpt + "'";
+}
+
 std::optional<JsonValue> parse_json(std::string_view text) {
   return Parser(text).parse_document();
+}
+
+std::optional<JsonValue> parse_json(std::string_view text, JsonError* error) {
+  if (error != nullptr) *error = JsonError{};
+  return Parser(text, error).parse_document();
 }
 
 }  // namespace vdbench::report

@@ -43,6 +43,12 @@ class JsonValue {
     return kind_ == Kind::kObject;
   }
 
+  /// All object members in key order; nullptr when not an object. Lets
+  /// callers enumerate open-ended tables (e.g. a manifest's rule map)
+  /// deterministically.
+  [[nodiscard]] const std::map<std::string, JsonValue, std::less<>>*
+  as_object() const;
+
   static JsonValue make_null();
   static JsonValue make_bool(bool b);
   static JsonValue make_number(double n);
@@ -62,5 +68,24 @@ class JsonValue {
 /// Parse a complete JSON document. Returns nullopt on any syntax error,
 /// trailing garbage, or nesting deeper than an internal sanity limit.
 [[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
+
+/// Where and why a parse failed. `offset` is the byte position of the
+/// failure; `excerpt` is a short printable window of the input around it
+/// (control and non-ASCII bytes rendered as '.'), so diagnostics can name
+/// the damage in fault-spec style: "reason at offset N near '…'".
+struct JsonError {
+  std::size_t offset = 0;
+  std::string reason;
+  std::string excerpt;
+
+  /// "<reason> at offset <offset> near '<excerpt>'".
+  [[nodiscard]] std::string message() const;
+};
+
+/// Diagnosing overload: on failure, fill `*error` (when non-null) with the
+/// first — i.e. deepest — failure the parser hit. The plain overload stays
+/// diagnostic-free because cache-miss handling treats any failure alike.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  JsonError* error);
 
 }  // namespace vdbench::report

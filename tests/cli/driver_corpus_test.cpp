@@ -1,0 +1,243 @@
+// Driver-level corpus intake tests: --sarif-report/--ground-truth parsing
+// and pairing, the usage-error path for unreadable files, content digests
+// joining corpus experiments' cache keys (and staying out of everyone
+// else's), and byte-identical exports across thread counts and cache
+// temperatures when an external corpus is attached.
+#include "cli/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli/experiment.h"
+#include "corpus/intake.h"
+#include "corpus/matcher.h"
+
+namespace vdbench::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kTruthDoc =
+    R"({"schema":1,"name":"toy","rules":{"r-sql":"CWE-89"},)"
+    R"("ecosystems":[{"name":"e","sites":[)"
+    R"({"uri":"a.c","line":1,"cwe":"CWE-89","vulnerable":true},)"
+    R"({"uri":"a.c","line":2,"vulnerable":false}]}]})";
+
+constexpr const char* kSarifDoc =
+    R"({"version":"2.1.0","runs":[{"tool":{"driver":{"name":"toytool"}},)"
+    R"("results":[{"ruleId":"r-sql","locations":[{"physicalLocation":)"
+    R"({"artifactLocation":{"uri":"a.c"},"region":{"startLine":1}}}]}]}]})";
+
+// One corpus experiment (scores whatever the driver hands it) and one
+// ordinary experiment that must never see the corpus files.
+ExperimentRegistry corpus_registry() {
+  ExperimentRegistry registry;
+  Experiment scored;
+  scored.id = "c1";
+  scored.title = "scores the external corpus";
+  scored.config = "corpus-toy{n=1}";
+  scored.run = [](ExperimentContext& ctx) {
+    if (ctx.corpus.sarif_report.empty()) {
+      ctx.out << "c1: no external corpus\n";
+      return;
+    }
+    const corpus::Manifest truth =
+        corpus::read_manifest_file(ctx.corpus.ground_truth);
+    const corpus::SarifReport report =
+        corpus::read_sarif_file(ctx.corpus.sarif_report);
+    const corpus::MatchResult match = corpus::match_findings(truth, report);
+    const core::ConfusionMatrix cm = corpus::evaluate_direct(match.records);
+    ctx.out << "c1: sites=" << match.stats.sites
+            << " matched=" << match.stats.matched << " tp=" << cm.tp << "\n";
+  };
+  scored.corpus = true;
+  registry.add(scored);
+
+  Experiment plain;
+  plain.id = "p1";
+  plain.title = "ignores the corpus";
+  plain.config = "plain{n=1}";
+  plain.run = [](ExperimentContext& ctx) { ctx.out << "p1 line\n"; };
+  registry.add(plain);
+  return registry;
+}
+
+class DriverCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vddriver_corpus_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    truth_path_ = (dir_ / "truth.json").string();
+    sarif_path_ = (dir_ / "report.sarif").string();
+    std::ofstream(truth_path_, std::ios::binary) << kTruthDoc;
+    std::ofstream(sarif_path_, std::ios::binary) << kSarifDoc;
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  DriverOptions base_options() {
+    DriverOptions options;
+    options.cache_dir = (dir_ / "cache").string();
+    options.manifest_path = (dir_ / "manifest.json").string();
+    options.artifact_dir = dir_.string();
+    options.threads = 1;
+    options.quiet = true;
+    options.sarif_report = sarif_path_;
+    options.ground_truth = truth_path_;
+    options.clock = [this] { return ++tick_; };
+    return options;
+  }
+
+  static std::string slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), {}};
+  }
+
+  fs::path dir_;
+  std::string truth_path_;
+  std::string sarif_path_;
+  std::uint64_t tick_ = 0;
+};
+
+TEST(ParseArgsCorpusTest, ParsesBothFlagFormsTogether) {
+  const char* argv[] = {"vdbench", "--sarif-report", "r.sarif",
+                        "--ground-truth=t.json"};
+  std::ostringstream err;
+  bool help = false;
+  const auto options =
+      parse_args(static_cast<int>(std::size(argv)), argv, err, &help);
+  ASSERT_TRUE(options.has_value()) << err.str();
+  EXPECT_EQ(options->sarif_report, "r.sarif");
+  EXPECT_EQ(options->ground_truth, "t.json");
+}
+
+TEST(ParseArgsCorpusTest, RejectsAnUnpairedFlag) {
+  for (const char* lone : {"--sarif-report=r.sarif", "--ground-truth=t.json"}) {
+    const char* argv[] = {"vdbench", lone};
+    std::ostringstream err;
+    bool help = false;
+    EXPECT_FALSE(parse_args(2, argv, err, &help).has_value()) << lone;
+    EXPECT_NE(err.str().find("must be given together"), std::string::npos)
+        << err.str();
+  }
+}
+
+TEST_F(DriverCorpusTest, UnreadableCorpusFilesAreAUsageError) {
+  const ExperimentRegistry registry = corpus_registry();
+  DriverOptions options = base_options();
+  options.sarif_report = (dir_ / "absent.sarif").string();
+  std::ostringstream out;
+  EXPECT_EQ(run_driver(registry, options, out).exit_code, kExitUsage);
+  EXPECT_NE(out.str().find("cannot read --sarif-report"), std::string::npos)
+      << out.str();
+
+  options = base_options();
+  options.ground_truth = (dir_ / "absent.json").string();
+  std::ostringstream out2;
+  EXPECT_EQ(run_driver(registry, options, out2).exit_code, kExitUsage);
+  EXPECT_NE(out2.str().find("cannot read --ground-truth"), std::string::npos)
+      << out2.str();
+}
+
+TEST_F(DriverCorpusTest, CorpusDigestsJoinTheCacheKey) {
+  const ExperimentRegistry registry = corpus_registry();
+  DriverOptions options = base_options();
+  options.experiments = "c1";
+
+  std::ostringstream cold;
+  const RunOutcome first = run_driver(registry, options, cold);
+  ASSERT_EQ(first.exit_code, 0);
+  EXPECT_EQ(first.misses, 1u);
+
+  // Same files: warm hit, same key.
+  const RunOutcome second = run_driver(registry, options, std::cout);
+  EXPECT_EQ(second.hits, 1u);
+  EXPECT_EQ(second.experiments[0].key_hex, first.experiments[0].key_hex);
+
+  // Touching the report's CONTENT re-addresses the entry: miss, new key.
+  std::ofstream(sarif_path_, std::ios::binary)
+      << R"({"version":"2.1.0","runs":[{"tool":{"driver":{"name":"other"}},)"
+      << R"("results":[]}]})";
+  const RunOutcome third = run_driver(registry, options, std::cout);
+  EXPECT_EQ(third.misses, 1u);
+  EXPECT_NE(third.experiments[0].key_hex, first.experiments[0].key_hex);
+
+  // And the ground truth's content is addressed independently.
+  std::ofstream(truth_path_, std::ios::binary)
+      << R"({"schema":1,"name":"toy2","ecosystems":[{"name":"e","sites":[)"
+      << R"({"uri":"a.c","line":9,"vulnerable":false}]}]})";
+  const RunOutcome fourth = run_driver(registry, options, std::cout);
+  EXPECT_EQ(fourth.misses, 1u);
+  EXPECT_NE(fourth.experiments[0].key_hex, third.experiments[0].key_hex);
+}
+
+TEST_F(DriverCorpusTest, AbsentCorpusIsADistinctCacheAddress) {
+  const ExperimentRegistry registry = corpus_registry();
+  DriverOptions with = base_options();
+  with.experiments = "c1";
+  const RunOutcome attached = run_driver(registry, with, std::cout);
+  ASSERT_EQ(attached.exit_code, 0);
+
+  DriverOptions without = base_options();
+  without.experiments = "c1";
+  without.sarif_report.clear();
+  without.ground_truth.clear();
+  std::ostringstream out;
+  const RunOutcome detached = run_driver(registry, without, out);
+  ASSERT_EQ(detached.exit_code, 0);
+  EXPECT_EQ(detached.misses, 1u);  // no aliasing with the attached run
+  EXPECT_NE(detached.experiments[0].key_hex,
+            attached.experiments[0].key_hex);
+}
+
+TEST_F(DriverCorpusTest, NonCorpusExperimentsNeverFoldTheDigests) {
+  const ExperimentRegistry registry = corpus_registry();
+  DriverOptions with = base_options();
+  with.experiments = "p1";
+  const RunOutcome attached = run_driver(registry, with, std::cout);
+
+  DriverOptions without = base_options();
+  without.experiments = "p1";
+  without.sarif_report.clear();
+  without.ground_truth.clear();
+  without.cache_dir = (dir_ / "cache2").string();
+  const RunOutcome detached = run_driver(registry, without, std::cout);
+  // Identical key: p1's result is shared whether or not a corpus rode along.
+  EXPECT_EQ(attached.experiments[0].key_hex, detached.experiments[0].key_hex);
+}
+
+TEST_F(DriverCorpusTest, CorpusRunsExportByteIdenticallyAcrossThreadsAndCache) {
+  const ExperimentRegistry registry = corpus_registry();
+
+  DriverOptions one = base_options();
+  one.experiments = "c1";
+  one.threads = 1;
+  one.json_out = (dir_ / "one_cold.json").string();
+  ASSERT_EQ(run_driver(registry, one, std::cout).exit_code, 0);
+  one.json_out = (dir_ / "one_warm.json").string();
+  ASSERT_EQ(run_driver(registry, one, std::cout).exit_code, 0);
+
+  DriverOptions three = base_options();
+  three.experiments = "c1";
+  three.threads = 3;
+  three.cache_dir = (dir_ / "cache3").string();
+  three.json_out = (dir_ / "three_cold.json").string();
+  ASSERT_EQ(run_driver(registry, three, std::cout).exit_code, 0);
+
+  const std::string one_cold = slurp(dir_ / "one_cold.json");
+  ASSERT_FALSE(one_cold.empty());
+  EXPECT_EQ(one_cold, slurp(dir_ / "one_warm.json"));
+  EXPECT_EQ(one_cold, slurp(dir_ / "three_cold.json"));
+  EXPECT_NE(one_cold.find("c1: sites=2 matched=1 tp=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdbench::cli

@@ -1,0 +1,201 @@
+// Intake tests: file loading through the corpus.read fault point (every
+// action either surfaces as a typed CorpusError / InjectedFault or leaves
+// the reader to reject the mangled bytes — never a silent short parse), and
+// the streamed evaluation path producing the exact matrix the direct fold
+// does for any chunking.
+#include "corpus/intake.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "corpus/error.h"
+#include "corpus/matcher.h"
+#include "corpus/synthetic.h"
+#include "fault/injector.h"
+#include "vdsim/tool.h"
+
+namespace vdbench::corpus {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A compact manifest where every byte is load-bearing: all sites declare
+// difficulty 0.25, so even a bit flip inside an optional member's name
+// changes the parse (the default 0.5 would show).
+constexpr const char* kManifestDoc =
+    R"({"schema":1,"name":"t","rules":{"r-sql":"CWE-89"},)"
+    R"("ecosystems":[{"name":"e","sites":[)"
+    R"({"uri":"a.c","line":1,"cwe":"CWE-89","vulnerable":true,)"
+    R"("difficulty":0.25},)"
+    R"({"uri":"a.c","line":2,"vulnerable":false,"difficulty":0.25}]}]})";
+
+constexpr const char* kSarifDoc =
+    R"({"version":"2.1.0","runs":[{"tool":{"driver":{"name":"t"}},)"
+    R"("results":[{"ruleId":"r-sql","locations":[{"physicalLocation":)"
+    R"({"artifactLocation":{"uri":"a.c"},"region":{"startLine":1}}}],)"
+    R"("properties":{"confidence":0.75}}]}]})";
+
+class IntakeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vdcorpus_intake_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    manifest_path_ = (dir_ / "truth.json").string();
+    sarif_path_ = (dir_ / "report.sarif").string();
+    std::ofstream(manifest_path_, std::ios::binary) << kManifestDoc;
+    std::ofstream(sarif_path_, std::ios::binary) << kSarifDoc;
+  }
+
+  void TearDown() override {
+    fault::Injector::global().disarm();
+    fs::remove_all(dir_);
+  }
+
+  fs::path dir_;
+  std::string manifest_path_;
+  std::string sarif_path_;
+};
+
+TEST_F(IntakeTest, ReadsBothFileKindsOffDisk) {
+  const Manifest manifest = read_manifest_file(manifest_path_);
+  EXPECT_EQ(manifest.site_count(), 2u);
+  const SarifReport report = read_sarif_file(sarif_path_);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule_id, "r-sql");
+}
+
+TEST_F(IntakeTest, MissingFilesFailWithATypedError) {
+  try {
+    (void)read_sarif_file((dir_ / "absent.sarif").string());
+    FAIL() << "missing file accepted";
+  } catch (const CorpusError& e) {
+    EXPECT_EQ(e.offset, 0u);
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)read_manifest_file((dir_ / "absent.json").string()),
+               CorpusError);
+}
+
+TEST_F(IntakeTest, InjectedIoErrorSurfacesAsCorpusError) {
+  fault::Injector::global().arm("corpus.read=io_error@sarif:1");
+  try {
+    (void)read_sarif_file(sarif_path_);
+    FAIL() << "injected io_error did not surface";
+  } catch (const CorpusError& e) {
+    EXPECT_EQ(e.offset, 0u);
+    EXPECT_NE(std::string(e.what()).find("injected i/o error"),
+              std::string::npos)
+        << e.what();
+  }
+  // The key filter scopes the schedule: manifest reads are unaffected.
+  EXPECT_EQ(read_manifest_file(manifest_path_).site_count(), 2u);
+}
+
+TEST_F(IntakeTest, InjectedThrowAndTimeoutRaiseInjectedFault) {
+  fault::Injector::global().arm("corpus.read=throw@manifest:1");
+  EXPECT_THROW((void)read_manifest_file(manifest_path_),
+               fault::InjectedFault);
+  fault::Injector::global().arm("corpus.read=timeout@sarif:1");
+  try {
+    (void)read_sarif_file(sarif_path_);
+    FAIL() << "injected timeout did not surface";
+  } catch (const fault::InjectedFault& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(IntakeTest, InjectedCorruptionIsNeverSilent) {
+  // The flipped bit lands wherever the schedule's salt says; the reader
+  // must either reject the document or visibly parse something different.
+  const Manifest clean = read_manifest_file(manifest_path_);
+  fault::Injector::global().arm("corpus.read=corrupt@manifest:1");
+  try {
+    const Manifest mangled = read_manifest_file(manifest_path_);
+    EXPECT_NE(render_manifest(mangled), render_manifest(clean))
+        << "bit flip parsed back to the clean manifest";
+  } catch (const CorpusError&) {
+    // rejected outright: equally loud
+  }
+}
+
+TEST_F(IntakeTest, InjectedTruncationIsRejectedWithAnOffset) {
+  fault::Injector::global().arm("corpus.read=truncate@sarif:1");
+  try {
+    (void)read_sarif_file(sarif_path_);
+    FAIL() << "torn SARIF accepted";
+  } catch (const CorpusError& e) {
+    EXPECT_GT(e.offset, 0u);
+    EXPECT_LE(e.offset, std::string(kSarifDoc).size() / 2 + 1);
+    EXPECT_NE(std::string(e.what()).find("corrupt"), std::string::npos)
+        << e.what();
+  }
+  fault::Injector::global().arm("corpus.read=truncate@manifest:1");
+  EXPECT_THROW((void)read_manifest_file(manifest_path_), CorpusError);
+}
+
+TEST_F(IntakeTest, FileIntakeFeedsTheMatcherEndToEnd) {
+  const Manifest manifest = read_manifest_file(manifest_path_);
+  const SarifReport report = read_sarif_file(sarif_path_);
+  const MatchResult match = match_findings(manifest, report);
+  const core::ConfusionMatrix cm = evaluate_direct(match.records);
+  EXPECT_EQ(cm.tp, 1u);  // a.c:1 detected as CWE-89
+  EXPECT_EQ(cm.tn, 1u);  // a.c:2 silent
+  EXPECT_EQ(cm.fp, 0u);
+  EXPECT_EQ(cm.fn, 0u);
+}
+
+// --- streamed evaluation --------------------------------------------------
+
+std::vector<stream::SiteRecord> synthetic_records() {
+  SyntheticCorpusSpec spec;
+  spec.name = "streamed";
+  spec.seed = 99;
+  spec.ecosystems.push_back({"one", 300, 0.3, {1, 1, 1, 1, 1, 1, 1, 1}});
+  spec.ecosystems.push_back({"two", 157, 0.05, {0, 1, 0, 1, 2, 2, 1, 1}});
+  const Manifest manifest = synthesize_manifest(spec);
+  const SarifReport report =
+      synthesize_report(spec, manifest, vdsim::builtin_tools().front());
+  return match_findings(manifest, report).records;
+}
+
+TEST(StreamedIntakeTest, MatchesDirectFoldForAnyChunking) {
+  const std::vector<stream::SiteRecord> records = synthetic_records();
+  const core::ConfusionMatrix direct = evaluate_direct(records);
+  EXPECT_EQ(direct.total(), records.size());
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{512},
+                                  records.size() + 13}) {
+    const core::ConfusionMatrix streamed = evaluate_streamed(records, chunk);
+    EXPECT_TRUE(direct == streamed)
+        << "chunk_sites=" << chunk << ": " << streamed.to_string() << " vs "
+        << direct.to_string();
+  }
+  // Queue capacity affects scheduling only.
+  EXPECT_TRUE(direct == evaluate_streamed(records, 32, /*queue_capacity=*/1));
+}
+
+TEST(StreamedIntakeTest, EmptyRecordSetFoldsToAnEmptyMatrix) {
+  const std::vector<stream::SiteRecord> none;
+  EXPECT_EQ(evaluate_direct(none).total(), 0u);
+  EXPECT_EQ(evaluate_streamed(none, 8).total(), 0u);
+}
+
+TEST(StreamedIntakeTest, ZeroChunkSizeIsAUsageError) {
+  const std::vector<stream::SiteRecord> records = synthetic_records();
+  EXPECT_THROW((void)evaluate_streamed(records, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdbench::corpus

@@ -104,7 +104,8 @@ TEST(NameTablesTest, ParsesTheThreeDefiningHeaders) {
   EXPECT_TRUE(tables.fault_points.contains("stream.consume"));
   EXPECT_TRUE(tables.fault_points.contains("net.read"));
   EXPECT_TRUE(tables.fault_points.contains("net.frame"));
-  EXPECT_EQ(tables.fault_points.size(), 11u);
+  EXPECT_TRUE(tables.fault_points.contains("corpus.read"));
+  EXPECT_EQ(tables.fault_points.size(), 12u);
   // Compare against the compiled constants: the runtime parse of
   // bench/experiments.h must agree with what the compiler saw.
   EXPECT_TRUE(tables.stage_names.contains(bench::stage::kStage1Assessment));

@@ -105,5 +105,59 @@ TEST(JsonReaderTest, RoundTripsJsonWriterOutput) {
   EXPECT_EQ(doc->member("items")->as_array()->size(), 2u);
 }
 
+TEST(JsonReaderTest, DiagnosingOverloadReportsOffsetAndReason) {
+  JsonError error;
+  // Truncation: the parser runs off the end mid-value; the offset is the
+  // exact byte where the document stopped making sense.
+  const std::string truncated = R"({"key":)";
+  EXPECT_FALSE(parse_json(truncated, &error).has_value());
+  EXPECT_EQ(error.offset, truncated.size());
+  EXPECT_EQ(error.reason, "unexpected end of document");
+  EXPECT_NE(error.message().find("at offset 7"), std::string::npos)
+      << error.message();
+
+  // Trailing garbage points at the first unexpected byte.
+  EXPECT_FALSE(parse_json("{} extra", &error).has_value());
+  EXPECT_EQ(error.offset, 3u);
+  EXPECT_EQ(error.reason, "trailing content after document");
+  EXPECT_NE(error.excerpt.find("extra"), std::string::npos) << error.excerpt;
+}
+
+TEST(JsonReaderTest, DiagnosingOverloadRecordsTheDeepestFailure) {
+  // The failure surfaces from deep inside the grammar (an unterminated
+  // string inside an array inside an object); the recorded error is that
+  // innermost point, not a generic complaint about the enclosing object.
+  JsonError error;
+  const std::string doc = R"({"xs":[1,"oops)";
+  EXPECT_FALSE(parse_json(doc, &error).has_value());
+  EXPECT_EQ(error.reason, "unterminated string");
+  EXPECT_EQ(error.offset, doc.size());
+}
+
+TEST(JsonReaderTest, ExcerptRendersControlBytesAsDots) {
+  JsonError error;
+  std::string doc = "{\"k\":\"ab";
+  doc += '\x01';
+  doc += "cd\"}";
+  EXPECT_FALSE(parse_json(doc, &error).has_value());
+  EXPECT_EQ(error.reason, "unescaped control character in string");
+  EXPECT_EQ(error.offset, 8u);  // the control byte itself
+  EXPECT_EQ(error.excerpt.find('\x01'), std::string::npos);
+  EXPECT_NE(error.excerpt.find("ab.cd"), std::string::npos) << error.excerpt;
+  // message() is fault-spec styled: "<reason> at offset <N> near '<w>'".
+  EXPECT_EQ(error.message(),
+            error.reason + " at offset 8 near '" + error.excerpt + "'");
+}
+
+TEST(JsonReaderTest, DiagnosingOverloadResetsOnEachCall) {
+  JsonError error;
+  EXPECT_FALSE(parse_json("[", &error).has_value());
+  EXPECT_FALSE(error.reason.empty());
+  // A subsequent success clears the previous diagnosis.
+  EXPECT_TRUE(parse_json("[]", &error).has_value());
+  EXPECT_TRUE(error.reason.empty());
+  EXPECT_EQ(error.offset, 0u);
+}
+
 }  // namespace
 }  // namespace vdbench::report
